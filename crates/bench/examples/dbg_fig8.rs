@@ -1,0 +1,56 @@
+use moca::pipeline::{Pipeline, PolicyKind};
+use moca_common::ModuleKind;
+use moca_sim::config::{HeterogeneousLayout, MemSystemConfig};
+
+fn main() {
+    let mut p = Pipeline::quick();
+    let heter = MemSystemConfig::Heterogeneous(HeterogeneousLayout::config1());
+    println!(
+        "{:<12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "app(EDP)", "LP", "RL", "HBM", "HA", "MOCA", "DDR3"
+    );
+    for app in ["mcf", "lbm", "gcc"] {
+        let base = p.evaluate(
+            &[app],
+            MemSystemConfig::Homogeneous(ModuleKind::Ddr3),
+            PolicyKind::Homogeneous,
+        );
+        let be = base.mem.edp().max(1e-30);
+        let rl = p.evaluate(
+            &[app],
+            MemSystemConfig::Homogeneous(ModuleKind::Rldram3),
+            PolicyKind::Homogeneous,
+        );
+        let hbm = p.evaluate(
+            &[app],
+            MemSystemConfig::Homogeneous(ModuleKind::Hbm),
+            PolicyKind::Homogeneous,
+        );
+        let lp = p.evaluate(
+            &[app],
+            MemSystemConfig::Homogeneous(ModuleKind::Lpddr2),
+            PolicyKind::Homogeneous,
+        );
+        let ha = p.evaluate(&[app], heter, PolicyKind::HeterApp);
+        let mo = p.evaluate(&[app], heter, PolicyKind::Moca);
+        println!(
+            "{:<12} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+            app,
+            lp.mem.edp() / be,
+            rl.mem.edp() / be,
+            hbm.mem.edp() / be,
+            ha.mem.edp() / be,
+            mo.mem.edp() / be,
+            1.0
+        );
+        println!(
+            "  power W: LP {:.2} RL {:.2} HBM {:.2} HA {:.2} MOCA {:.2} DDR3 {:.2}",
+            lp.mem.avg_power_w(),
+            rl.mem.avg_power_w(),
+            hbm.mem.avg_power_w(),
+            ha.mem.avg_power_w(),
+            mo.mem.avg_power_w(),
+            base.mem.avg_power_w()
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--out DIR] <target>...
+//!
+//! targets: table1 table2 table3 fig1 fig2 fig5 fig8 fig9 fig10 fig11
+//!          fig12 fig13 fig14 fig15 fig16 thresholds migration ablations all
+//! ```
+//!
+//! Results are printed as aligned tables and saved as JSON under `--out`
+//! (default `results/`).
+
+use moca_bench::experiments as exp;
+use moca_bench::{Scale, SeededPipeline, Table};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] [--out DIR] <target>...\n\
+         targets: table1 table2 table3 fig1 fig2 fig5 fig8 fig9 fig10 fig11 \
+         fig12 fig13 fig14 fig15 fig16 thresholds migration ablations all"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scale = Scale::Full;
+    let mut out_dir = PathBuf::from("results");
+    let mut targets: BTreeSet<String> = BTreeSet::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--out" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "-h" | "--help" => usage(),
+            t => {
+                targets.insert(t.to_string());
+            }
+        }
+    }
+    if targets.is_empty() {
+        usage();
+    }
+    if targets.remove("all") {
+        for t in [
+            "table1",
+            "table2",
+            "table3",
+            "fig1",
+            "fig2",
+            "fig5",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "thresholds",
+            "migration",
+            "ablations",
+        ] {
+            targets.insert(t.to_string());
+        }
+    }
+
+    let emit = |t: &Table| {
+        println!("{}", t.render());
+        if let Err(e) = t.save_json(&out_dir) {
+            eprintln!("warning: could not save {}.json: {e}", t.id);
+        }
+    };
+
+    // Static tables need no simulation.
+    if targets.contains("table1") {
+        emit(&exp::table1());
+    }
+    if targets.contains("table2") {
+        emit(&exp::table2());
+    }
+
+    let needs_profiles = targets.iter().any(|t| {
+        matches!(
+            t.as_str(),
+            "table3"
+                | "fig1"
+                | "fig2"
+                | "fig5"
+                | "fig8"
+                | "fig9"
+                | "fig10"
+                | "fig11"
+                | "fig12"
+                | "fig13"
+                | "fig14"
+                | "fig15"
+                | "fig16"
+                | "migration"
+                | "ablations"
+        )
+    });
+    if needs_profiles {
+        let t0 = Instant::now();
+        eprintln!("[repro] profiling the suite ({scale:?}) ...");
+        let mut sp = SeededPipeline::new(scale);
+        eprintln!(
+            "[repro] profiling done in {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
+
+        if targets.contains("fig1") {
+            emit(&exp::fig1(&mut sp));
+        }
+        if targets.contains("fig2") {
+            emit(&exp::fig2(&mut sp));
+        }
+        if targets.contains("fig5") {
+            emit(&exp::fig5(&mut sp));
+        }
+        if targets.contains("table3") {
+            emit(&exp::table3(&mut sp));
+        }
+        if targets.contains("fig16") {
+            emit(&exp::fig16(&mut sp));
+        }
+        if targets.contains("fig8") || targets.contains("fig9") {
+            let t = Instant::now();
+            eprintln!("[repro] fig8/fig9: single-core sweep (60 runs) ...");
+            let (f8, f9) = exp::fig8_fig9(&sp);
+            eprintln!("[repro] done in {:.1}s", t.elapsed().as_secs_f64());
+            if targets.contains("fig8") {
+                emit(&f8);
+            }
+            if targets.contains("fig9") {
+                emit(&f9);
+            }
+        }
+        let multi = ["fig10", "fig11", "fig12", "fig13"];
+        if multi.iter().any(|m| targets.contains(*m)) {
+            let t = Instant::now();
+            eprintln!("[repro] fig10-13: multicore sweep (60 four-core runs) ...");
+            let (f10, f11, f12, f13) = exp::fig10_to_13(&sp);
+            eprintln!("[repro] done in {:.1}s", t.elapsed().as_secs_f64());
+            for (name, tab) in [
+                ("fig10", &f10),
+                ("fig11", &f11),
+                ("fig12", &f12),
+                ("fig13", &f13),
+            ] {
+                if targets.contains(name) {
+                    emit(tab);
+                }
+            }
+        }
+        if targets.contains("migration") {
+            let t = Instant::now();
+            eprintln!("[repro] migration study (9 runs) ...");
+            emit(&exp::migration_study(&sp));
+            eprintln!("[repro] done in {:.1}s", t.elapsed().as_secs_f64());
+        }
+        if targets.contains("ablations") {
+            let t = Instant::now();
+            eprintln!("[repro] design ablations (fallback orders, segments, scale) ...");
+            emit(&exp::ablation_fallback(&sp));
+            emit(&exp::ablation_segments(&sp));
+            emit(&exp::ablation_scale());
+            eprintln!("[repro] done in {:.1}s", t.elapsed().as_secs_f64());
+        }
+        if targets.contains("fig14") || targets.contains("fig15") {
+            let t = Instant::now();
+            eprintln!("[repro] fig14/fig15: configuration sweep (30 four-core runs) ...");
+            let (f14, f15) = exp::fig14_fig15(&sp);
+            eprintln!("[repro] done in {:.1}s", t.elapsed().as_secs_f64());
+            if targets.contains("fig14") {
+                emit(&f14);
+            }
+            if targets.contains("fig15") {
+                emit(&f15);
+            }
+        }
+    }
+
+    if targets.contains("thresholds") {
+        let t = Instant::now();
+        eprintln!("[repro] threshold search (16 candidate points) ...");
+        emit(&exp::threshold_search(scale));
+        eprintln!("[repro] done in {:.1}s", t.elapsed().as_secs_f64());
+    }
+}

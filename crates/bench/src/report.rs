@@ -1,0 +1,153 @@
+//! Result tables: aligned text rendering + JSON persistence.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// One reproduced table/figure, as rows of strings plus notes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Experiment id (`fig8`, `table3`, ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (normalization, expectations from the paper).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row. Panics if the arity does not match the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id, self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, (c, w)) in cells.iter().zip(widths.iter()).enumerate() {
+                if i == 0 {
+                    s.push_str(&format!("{c:<w$}"));
+                } else {
+                    s.push_str(&format!("  {c:>w$}"));
+                }
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers, &widths));
+        let total = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Persist as JSON under `dir/<id>.json`.
+    pub fn save_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{}.json", self.id)))?;
+        f.write_all(
+            serde_json::to_string_pretty(self)
+                .expect("serializable")
+                .as_bytes(),
+        )
+    }
+}
+
+/// Format a ratio with 3 decimals.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Geometric mean (ignores non-positive values, which would poison the log).
+pub fn geomean(xs: &[f64]) -> f64 {
+    let v: Vec<f64> = xs.iter().copied().filter(|x| *x > 0.0).collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("t", "demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1.000".into()]);
+        t.row(vec!["longer".into(), "2.5".into()]);
+        t.note("hello");
+        let s = t.render();
+        assert!(s.contains("## t — demo"));
+        assert!(s.contains("note: hello"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and rows share width.
+        assert_eq!(lines[2].len(), lines[3].len().max(lines[2].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t", "demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 0.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = Table::new("x", "y", &["a"]);
+        t.row(vec!["1".into()]);
+        let dir = std::env::temp_dir().join("moca_report_test");
+        t.save_json(&dir).unwrap();
+        let body = std::fs::read_to_string(dir.join("x.json")).unwrap();
+        let back: Table = serde_json::from_str(&body).unwrap();
+        assert_eq!(back.rows, t.rows);
+    }
+}

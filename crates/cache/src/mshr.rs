@@ -1,0 +1,154 @@
+//! Miss Status Holding Registers.
+//!
+//! An MSHR file bounds the number of outstanding primary misses of a cache
+//! (Table I: 4 for L1, 20 for L2) and merges secondary misses to the same
+//! line. The MSHR count is what limits a core's memory-level parallelism —
+//! the property the MOCA classifier measures through ROB-head stalls.
+
+use moca_common::LineAddr;
+use std::collections::HashMap;
+
+/// Outcome of presenting a miss to the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated: the caller must forward the request to the
+    /// next level.
+    AllocatedPrimary,
+    /// Merged into an existing entry for the same line: no new downstream
+    /// request is needed.
+    MergedSecondary,
+    /// The file is full: the requester must stall and retry.
+    Full,
+}
+
+/// MSHR file with per-line waiter lists. `W` is the caller's waiter token
+/// (e.g. a ROB slot or an upper-level transaction id).
+#[derive(Debug, Clone)]
+pub struct MshrFile<W> {
+    capacity: usize,
+    entries: HashMap<LineAddr, Vec<W>>,
+    peak_occupancy: usize,
+    merges: u64,
+    full_stalls: u64,
+}
+
+impl<W> MshrFile<W> {
+    /// Create a file with `capacity` primary-miss slots.
+    pub fn new(capacity: usize) -> MshrFile<W> {
+        assert!(capacity > 0);
+        MshrFile {
+            capacity,
+            entries: HashMap::with_capacity(capacity * 2),
+            peak_occupancy: 0,
+            merges: 0,
+            full_stalls: 0,
+        }
+    }
+
+    /// Present a miss on `line` with waiter `w`.
+    pub fn on_miss(&mut self, line: LineAddr, w: W) -> MshrOutcome {
+        if let Some(waiters) = self.entries.get_mut(&line) {
+            waiters.push(w);
+            self.merges += 1;
+            return MshrOutcome::MergedSecondary;
+        }
+        if self.entries.len() >= self.capacity {
+            self.full_stalls += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(line, vec![w]);
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        MshrOutcome::AllocatedPrimary
+    }
+
+    /// Complete the miss on `line`, returning its waiters (empty vec if the
+    /// line had no entry — e.g. a prefetch or a duplicate completion).
+    pub fn complete(&mut self, line: LineAddr) -> Vec<W> {
+        self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// Whether `line` has an outstanding entry.
+    pub fn pending(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Whether no further primary misses can be accepted.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Current number of outstanding primary misses.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Highest occupancy seen.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Secondary misses merged.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Times a requester was turned away because the file was full.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_then_merges() {
+        let mut m: MshrFile<u32> = MshrFile::new(2);
+        assert_eq!(m.on_miss(LineAddr(1), 10), MshrOutcome::AllocatedPrimary);
+        assert_eq!(m.on_miss(LineAddr(1), 11), MshrOutcome::MergedSecondary);
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.merges(), 1);
+        let waiters = m.complete(LineAddr(1));
+        assert_eq!(waiters, vec![10, 11]);
+        assert!(!m.pending(LineAddr(1)));
+    }
+
+    #[test]
+    fn full_rejects_new_lines_but_merges_existing() {
+        let mut m: MshrFile<u32> = MshrFile::new(2);
+        m.on_miss(LineAddr(1), 1);
+        m.on_miss(LineAddr(2), 2);
+        assert!(m.is_full());
+        assert_eq!(m.on_miss(LineAddr(3), 3), MshrOutcome::Full);
+        assert_eq!(m.on_miss(LineAddr(2), 4), MshrOutcome::MergedSecondary);
+        assert_eq!(m.full_stalls(), 1);
+    }
+
+    #[test]
+    fn completion_frees_slot() {
+        let mut m: MshrFile<u32> = MshrFile::new(1);
+        m.on_miss(LineAddr(7), 1);
+        assert!(m.is_full());
+        m.complete(LineAddr(7));
+        assert_eq!(m.on_miss(LineAddr(8), 2), MshrOutcome::AllocatedPrimary);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water() {
+        let mut m: MshrFile<u32> = MshrFile::new(4);
+        m.on_miss(LineAddr(1), 1);
+        m.on_miss(LineAddr(2), 2);
+        m.on_miss(LineAddr(3), 3);
+        m.complete(LineAddr(1));
+        m.complete(LineAddr(2));
+        assert_eq!(m.peak_occupancy(), 3);
+        assert_eq!(m.occupancy(), 1);
+    }
+
+    #[test]
+    fn complete_unknown_line_is_empty() {
+        let mut m: MshrFile<u32> = MshrFile::new(1);
+        assert!(m.complete(LineAddr(99)).is_empty());
+    }
+}

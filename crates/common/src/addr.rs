@@ -1,0 +1,144 @@
+//! Address newtypes.
+//!
+//! Virtual and physical addresses are distinct types so that translation
+//! mistakes (feeding a virtual address to a cache indexed on physical
+//! addresses, or vice versa) become compile errors rather than silent
+//! simulation bugs.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of an OS page in bytes (4 KiB, as in the paper's Linux 2.6.32 guest).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Size of a cache line in bytes (Table I: 64 B for L1 and L2).
+pub const CACHE_LINE_SIZE: u64 = 64;
+
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// log2 of [`CACHE_LINE_SIZE`].
+pub const LINE_SHIFT: u32 = 6;
+
+/// A virtual address in an application's address space.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct VirtAddr(pub u64);
+
+/// A physical address in the (possibly heterogeneous) memory system.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct PhysAddr(pub u64);
+
+/// A physical cache-line address (physical address with the line offset
+/// stripped), the unit caches and the DRAM controller operate on.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct LineAddr(pub u64);
+
+impl VirtAddr {
+    /// Virtual page number.
+    #[inline]
+    pub fn vpn(self) -> u64 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Offset within the page.
+    #[inline]
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Address advanced by `bytes`.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0.wrapping_add(bytes))
+    }
+}
+
+impl PhysAddr {
+    /// Physical frame number.
+    #[inline]
+    pub fn pfn(self) -> u64 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Build a physical address from a frame number and an in-page offset.
+    #[inline]
+    pub fn from_parts(pfn: u64, page_offset: u64) -> PhysAddr {
+        debug_assert!(page_offset < PAGE_SIZE);
+        PhysAddr((pfn << PAGE_SHIFT) | page_offset)
+    }
+
+    /// Cache-line address containing this byte.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+}
+
+impl LineAddr {
+    /// First byte address of the line.
+    #[inline]
+    pub fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << LINE_SHIFT)
+    }
+
+    /// Physical frame number containing this line.
+    #[inline]
+    pub fn pfn(self) -> u64 {
+        self.0 >> (PAGE_SHIFT - LINE_SHIFT)
+    }
+}
+
+impl std::fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl std::fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_and_line_constants_consistent() {
+        assert_eq!(1u64 << PAGE_SHIFT, PAGE_SIZE);
+        assert_eq!(1u64 << LINE_SHIFT, CACHE_LINE_SIZE);
+    }
+
+    #[test]
+    fn vpn_and_offset_roundtrip() {
+        let va = VirtAddr(0x6010_2345);
+        assert_eq!(va.vpn() * PAGE_SIZE + va.page_offset(), va.0);
+    }
+
+    #[test]
+    fn phys_from_parts_roundtrip() {
+        let pa = PhysAddr::from_parts(0x1234, 0xabc);
+        assert_eq!(pa.pfn(), 0x1234);
+        assert_eq!(pa.0 & (PAGE_SIZE - 1), 0xabc);
+    }
+
+    #[test]
+    fn line_of_phys_strips_offset() {
+        let pa = PhysAddr(0x1000 + 63);
+        assert_eq!(pa.line(), PhysAddr(0x1000).line());
+        assert_ne!(pa.line(), PhysAddr(0x1040).line());
+        assert_eq!(pa.line().base().0, 0x1000);
+    }
+
+    #[test]
+    fn line_pfn_matches_phys_pfn() {
+        let pa = PhysAddr(0x3_4567_89c0);
+        assert_eq!(pa.line().pfn(), pa.pfn());
+    }
+}

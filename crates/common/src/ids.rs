@@ -1,0 +1,140 @@
+//! Identifiers and the paper's three-way object classification.
+
+use serde::{Deserialize, Serialize};
+
+/// A profiled/classified heap memory object, unique within one application.
+///
+/// Object identity is established by the naming convention of §III-A
+/// (allocation-site return address + calling context); the mapping from names
+/// to `ObjectId`s lives in `moca::naming`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ObjectId(pub u32);
+
+/// An application (one per simulated process/core in multi-program runs).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct AppId(pub u32);
+
+/// A hardware core in the simulated system.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct CoreId(pub u32);
+
+/// Memory segment a virtual address belongs to.
+///
+/// The paper allocates heap objects by class and sends stack, code and
+/// global-data pages to the low-power module (§VI-D, Fig. 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// Program text. High locality; near-zero LLC MPKI (Fig. 16).
+    Code,
+    /// Globals / bss.
+    Data,
+    /// Stack. Small footprint, caches well (Fig. 16).
+    Stack,
+    /// Dynamically allocated heap memory — the subject of MOCA.
+    Heap,
+}
+
+/// The classification MOCA assigns to each memory object (and that the
+/// Heter-App baseline assigns to whole applications) — Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ObjectClass {
+    /// High LLC MPKI, low memory-level parallelism (high ROB-head stalls per
+    /// load miss): benefits from the reduced-latency module (RLDRAM).
+    LatencySensitive,
+    /// High LLC MPKI, high MLP (stalls hidden): benefits from the
+    /// high-bandwidth module (HBM).
+    BandwidthSensitive,
+    /// Low LLC MPKI: insensitive to memory speed; placed in the low-power
+    /// module (LPDDR2) to save energy.
+    NonIntensive,
+}
+
+impl ObjectClass {
+    /// One-letter code used in the paper's workload-set names (e.g. `2L1B1N`).
+    pub fn letter(self) -> char {
+        match self {
+            ObjectClass::LatencySensitive => 'L',
+            ObjectClass::BandwidthSensitive => 'B',
+            ObjectClass::NonIntensive => 'N',
+        }
+    }
+
+    /// All classes in a stable order.
+    pub const ALL: [ObjectClass; 3] = [
+        ObjectClass::LatencySensitive,
+        ObjectClass::BandwidthSensitive,
+        ObjectClass::NonIntensive,
+    ];
+}
+
+impl std::fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ObjectClass::LatencySensitive => "latency-sensitive",
+            ObjectClass::BandwidthSensitive => "bandwidth-sensitive",
+            ObjectClass::NonIntensive => "non-memory-intensive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tag carried on every memory access through the simulator so that misses
+/// and ROB-head stalls can be attributed to an object (or to the stack/code
+/// segments for Fig. 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemTag {
+    /// Which segment the access targets.
+    pub segment: Segment,
+    /// The heap object, when `segment == Segment::Heap`.
+    pub object: Option<ObjectId>,
+}
+
+impl MemTag {
+    /// Tag for an access to heap object `id`.
+    pub fn heap(id: ObjectId) -> MemTag {
+        MemTag {
+            segment: Segment::Heap,
+            object: Some(id),
+        }
+    }
+
+    /// Tag for a non-heap segment access.
+    pub fn segment(segment: Segment) -> MemTag {
+        debug_assert!(!matches!(segment, Segment::Heap));
+        MemTag {
+            segment,
+            object: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_letters_are_distinct() {
+        let letters: std::collections::HashSet<_> =
+            ObjectClass::ALL.iter().map(|c| c.letter()).collect();
+        assert_eq!(letters.len(), 3);
+    }
+
+    #[test]
+    fn heap_tag_carries_object() {
+        let t = MemTag::heap(ObjectId(7));
+        assert_eq!(t.segment, Segment::Heap);
+        assert_eq!(t.object, Some(ObjectId(7)));
+    }
+
+    #[test]
+    fn segment_tag_has_no_object() {
+        let t = MemTag::segment(Segment::Stack);
+        assert_eq!(t.object, None);
+    }
+}

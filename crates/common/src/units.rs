@@ -1,0 +1,72 @@
+//! Time and capacity units.
+//!
+//! The simulator runs a synchronous clock at the core frequency of 1 GHz
+//! (Table I), so **one cycle equals one nanosecond**. DRAM device timings,
+//! which Table II specifies in nanoseconds, are converted to cycles with
+//! ceiling rounding at controller construction time.
+
+/// Simulated time in core cycles (1 cycle = 1 ns at the paper's 1 GHz core).
+pub type Cycle = u64;
+
+/// One kibibyte.
+pub const KB: u64 = 1024;
+/// One mebibyte.
+pub const MB: u64 = 1024 * KB;
+/// One gibibyte.
+pub const GB: u64 = 1024 * MB;
+
+/// Core clock frequency in Hz (Table I).
+pub const CORE_FREQ_HZ: u64 = 1_000_000_000;
+
+/// Convert a duration in nanoseconds to core cycles, rounding up so that
+/// device timing constraints are never optimistically shortened.
+#[inline]
+pub fn ns_to_cycles(ns: f64) -> Cycle {
+    debug_assert!(ns >= 0.0, "negative duration");
+    ns.ceil() as Cycle
+}
+
+/// Convert a cycle count to seconds of simulated time.
+#[inline]
+pub fn cycles_to_seconds(cycles: Cycle) -> f64 {
+    cycles as f64 / CORE_FREQ_HZ as f64
+}
+
+/// Pretty-print a byte count using binary units ("256 MiB").
+pub fn format_bytes(bytes: u64) -> String {
+    if bytes >= GB && bytes.is_multiple_of(GB) {
+        format!("{} GiB", bytes / GB)
+    } else if bytes >= MB && bytes.is_multiple_of(MB) {
+        format!("{} MiB", bytes / MB)
+    } else if bytes >= KB && bytes.is_multiple_of(KB) {
+        format!("{} KiB", bytes / KB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_conversion_rounds_up() {
+        assert_eq!(ns_to_cycles(0.0), 0);
+        assert_eq!(ns_to_cycles(1.0), 1);
+        assert_eq!(ns_to_cycles(1.07), 2);
+        assert_eq!(ns_to_cycles(13.75), 14);
+    }
+
+    #[test]
+    fn cycles_to_seconds_at_1ghz() {
+        assert!((cycles_to_seconds(1_000_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(512 * MB), "512 MiB");
+        assert_eq!(format_bytes(2 * GB), "2 GiB");
+        assert_eq!(format_bytes(64 * KB), "64 KiB");
+        assert_eq!(format_bytes(100), "100 B");
+    }
+}

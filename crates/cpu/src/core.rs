@@ -1,0 +1,775 @@
+//! The out-of-order engine.
+
+use crate::instr::{Instr, InstrStream};
+use crate::stats::CoreStats;
+use moca_common::ids::MemTag;
+use moca_common::{CoreId, Cycle, Segment, VirtAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Microarchitectural parameters (Table I defaults).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Fetch/dispatch/issue/commit width.
+    pub width: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Load-queue entries.
+    pub lq_entries: usize,
+    /// Front-end redirect penalty on a branch mispredict (stands in for the
+    /// tournament predictor + 4K BTB of Table I).
+    pub mispredict_penalty: Cycle,
+    /// Base of the code segment for synthesized fetch PCs.
+    pub code_base: u64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            width: 3,
+            rob_entries: 84,
+            lq_entries: 32,
+            mispredict_penalty: 12,
+            code_base: 0x0040_0000,
+        }
+    }
+}
+
+/// Reply of the memory hierarchy to a load or instruction fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemReply {
+    /// Serviced by a cache: data ready at `ready_at`.
+    Done {
+        /// Completion cycle.
+        ready_at: Cycle,
+    },
+    /// LLC miss: the request went toward DRAM and will be completed via
+    /// [`Core::complete`] with `ticket`.
+    Pending {
+        /// Token the hierarchy will complete with.
+        ticket: u64,
+        /// True if this allocated a new L2 MSHR (a *primary* miss — the
+        /// event hardware LLC-miss counters count); false when merged into
+        /// an outstanding miss for the same line.
+        primary: bool,
+    },
+    /// Structural hazard (MSHR or queue full): retry next cycle.
+    Retry,
+}
+
+/// Reply to a store (fire-and-forget through the store buffer).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreReply {
+    /// The store missed the LLC with a new MSHR allocation.
+    pub primary_miss: bool,
+}
+
+/// Interface the core uses to reach its memory hierarchy.
+pub trait MemPort {
+    /// Issue a load.
+    fn load(&mut self, now: Cycle, core: CoreId, va: VirtAddr, tag: MemTag) -> MemReply;
+    /// Issue a store.
+    fn store(&mut self, now: Cycle, core: CoreId, va: VirtAddr, tag: MemTag) -> StoreReply;
+    /// Fetch an instruction line.
+    fn ifetch(&mut self, now: Cycle, core: CoreId, va: VirtAddr) -> MemReply;
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    seq: u64,
+    done: bool,
+    ready_at: Cycle,
+    is_load: bool,
+    llc_miss: bool,
+    tag: Option<MemTag>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WaitingLoad {
+    seq: u64,
+    va: VirtAddr,
+    tag: MemTag,
+    dep_seq: Option<u64>,
+}
+
+/// One simulated core.
+pub struct Core {
+    /// Core identifier (used on memory requests).
+    pub id: CoreId,
+    cfg: CoreConfig,
+    rob: VecDeque<RobEntry>,
+    waiting: Vec<WaitingLoad>,
+    tickets: HashMap<u64, u64>,
+    ifetch_ticket: Option<u64>,
+    lq_used: usize,
+    next_seq: u64,
+    /// Last load sequence number per dependence chain: an address-dependent
+    /// load waits on the previous load *of its chain* (a pointer chase is
+    /// one chain; unrelated loads interleaved by the OoO engine do not
+    /// break it).
+    last_load_by_chain: HashMap<u16, u64>,
+    dispatch_blocked_until: Cycle,
+    fetch_blocked_until: Cycle,
+    pc: u64,
+    fetched_line: u64,
+    buffered: Option<Instr>,
+    stream_done: bool,
+    /// Cycle of the previous `tick` call, for event-skip-aware accounting.
+    last_tick: Cycle,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Build a core.
+    pub fn new(id: CoreId, cfg: CoreConfig) -> Core {
+        let pc = cfg.code_base;
+        Core {
+            id,
+            cfg,
+            rob: VecDeque::new(),
+            waiting: Vec::new(),
+            tickets: HashMap::new(),
+            ifetch_ticket: None,
+            lq_used: 0,
+            next_seq: 0,
+            last_load_by_chain: HashMap::new(),
+            dispatch_blocked_until: 0,
+            fetch_blocked_until: 0,
+            pc,
+            fetched_line: pc >> 6,
+            buffered: None,
+            stream_done: false,
+            last_tick: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Consume the statistics at end of run.
+    pub fn into_stats(self) -> CoreStats {
+        self.stats
+    }
+
+    /// Zero all statistics (end of a warmup/fast-forward phase, §V-A). The
+    /// microarchitectural state (ROB contents, outstanding misses) is kept —
+    /// only the counters restart.
+    pub fn reset_stats(&mut self) {
+        self.stats = CoreStats::default();
+    }
+
+    /// Whether the program has fully drained.
+    pub fn finished(&self) -> bool {
+        self.stream_done && self.rob.is_empty() && self.buffered.is_none()
+    }
+
+    /// Instructions committed so far.
+    pub fn committed(&self) -> u64 {
+        self.stats.committed
+    }
+
+    /// Whether the core is quiescent waiting only on outstanding memory
+    /// (used for event skipping): no commit/dispatch possible before the
+    /// earliest outstanding completion.
+    pub fn blocked_on_memory(&self, now: Cycle) -> bool {
+        if self.finished() {
+            return false;
+        }
+        // Any committable entry at the head?
+        if let Some(h) = self.rob.front() {
+            if h.done && h.ready_at <= now {
+                return false;
+            }
+        }
+        // Any waiting load that might issue (dependency resolved)?
+        for w in &self.waiting {
+            if self.dep_resolved(w.dep_seq, now) {
+                return false;
+            }
+        }
+        // Room to dispatch?
+        if self.can_dispatch_something(now) {
+            return false;
+        }
+        true
+    }
+
+    fn can_dispatch_something(&self, now: Cycle) -> bool {
+        if self.stream_done && self.buffered.is_none() {
+            return false;
+        }
+        if self.dispatch_blocked_until > now
+            || self.fetch_blocked_until > now
+            || self.ifetch_ticket.is_some()
+        {
+            return false;
+        }
+        self.rob.len() < self.cfg.rob_entries
+    }
+
+    /// Earliest future cycle at which this core could make progress without
+    /// an external memory completion, or `None` if only a completion can
+    /// unblock it.
+    pub fn next_local_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut best: Option<Cycle> = None;
+        let mut consider = |c: Cycle| {
+            if c > now {
+                best = Some(best.map_or(c, |b: Cycle| b.min(c)));
+            }
+        };
+        if let Some(h) = self.rob.front() {
+            if h.done {
+                consider(h.ready_at);
+            }
+        }
+        if self.dispatch_blocked_until > now {
+            consider(self.dispatch_blocked_until);
+        }
+        if self.fetch_blocked_until > now {
+            consider(self.fetch_blocked_until);
+        }
+        for w in &self.waiting {
+            if let Some(dep) = w.dep_seq {
+                if let Some(e) = self.find(dep) {
+                    if e.done {
+                        consider(e.ready_at);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn find(&self, seq: u64) -> Option<&RobEntry> {
+        let idx = self.rob.partition_point(|e| e.seq < seq);
+        self.rob.get(idx).filter(|e| e.seq == seq)
+    }
+
+    fn find_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        let idx = self.rob.partition_point(|e| e.seq < seq);
+        self.rob.get_mut(idx).filter(|e| e.seq == seq)
+    }
+
+    fn dep_resolved(&self, dep: Option<u64>, now: Cycle) -> bool {
+        match dep {
+            None => true,
+            Some(seq) => match self.find(seq) {
+                None => true, // already committed
+                Some(e) => e.done && e.ready_at <= now,
+            },
+        }
+    }
+
+    /// Deliver a memory completion for `ticket` (LLC-missing load or ifetch).
+    pub fn complete(&mut self, ticket: u64, now: Cycle) {
+        if self.ifetch_ticket == Some(ticket) {
+            self.ifetch_ticket = None;
+            self.fetch_blocked_until = now.max(self.fetch_blocked_until);
+            return;
+        }
+        if let Some(seq) = self.tickets.remove(&ticket) {
+            if let Some(e) = self.find_mut(seq) {
+                e.done = true;
+                e.ready_at = now;
+            }
+        }
+    }
+
+    /// Advance to cycle `now`: commit, account head stalls, issue waiting
+    /// loads, dispatch new instructions. The simulator may skip cycles when
+    /// every core is blocked on memory (event skipping); accounting uses the
+    /// real elapsed time so IPC and ROB-head stalls are exact.
+    pub fn tick<P: MemPort, S: InstrStream>(&mut self, now: Cycle, port: &mut P, stream: &mut S) {
+        let elapsed = now.saturating_sub(self.last_tick).max(1);
+        self.last_tick = now;
+        self.stats.cycles += elapsed;
+        // Cycles skipped since the last tick were spent blocked; if the ROB
+        // head was an incomplete LLC-missing load over that window (the only
+        // state that triggers a skip), attribute the skipped stall cycles.
+        if elapsed > 1 {
+            if let Some(h) = self.rob.front() {
+                if h.is_load && h.llc_miss {
+                    let stalled = elapsed - 1;
+                    self.stats.head_stall_cycles += stalled;
+                    if let Some(tag) = h.tag {
+                        self.stats.tags.get_mut(tag).rob_head_stall_cycles += stalled;
+                    }
+                }
+            }
+        }
+
+        // ---- Commit stage ----
+        let mut committed_this_cycle = 0;
+        while committed_this_cycle < self.cfg.width {
+            match self.rob.front() {
+                Some(h) if h.done && h.ready_at <= now => {
+                    let h = self.rob.pop_front().expect("front exists");
+                    if h.is_load {
+                        self.lq_used -= 1;
+                    }
+                    self.stats.committed += 1;
+                    committed_this_cycle += 1;
+                }
+                _ => break,
+            }
+        }
+        // ROB-head stall accounting: blocked on an incomplete missing load.
+        if committed_this_cycle < self.cfg.width {
+            if let Some(h) = self.rob.front() {
+                if h.is_load && h.llc_miss && !(h.done && h.ready_at <= now) {
+                    self.stats.head_stall_cycles += 1;
+                    if let Some(tag) = h.tag {
+                        self.stats.tags.get_mut(tag).rob_head_stall_cycles += 1;
+                    }
+                }
+            }
+        }
+
+        // ---- Issue stage: waiting loads whose dependencies resolved ----
+        let mut issued = 0;
+        let mut i = 0;
+        while i < self.waiting.len() && issued < self.cfg.width {
+            let w = self.waiting[i];
+            if !self.dep_resolved(w.dep_seq, now) {
+                i += 1;
+                continue;
+            }
+            match port.load(now, self.id, w.va, w.tag) {
+                MemReply::Done { ready_at } => {
+                    if let Some(e) = self.find_mut(w.seq) {
+                        e.done = true;
+                        e.ready_at = ready_at.max(now + 1);
+                    }
+                    self.waiting.remove(i);
+                    issued += 1;
+                }
+                MemReply::Pending { ticket, primary } => {
+                    let s = self.stats.tags.get_mut(w.tag);
+                    s.miss_loads += 1;
+                    if primary {
+                        s.llc_misses += 1;
+                    }
+                    if let Some(e) = self.find_mut(w.seq) {
+                        e.llc_miss = true;
+                    }
+                    self.tickets.insert(ticket, w.seq);
+                    self.waiting.remove(i);
+                    issued += 1;
+                }
+                MemReply::Retry => break, // structural hazard: stop issuing
+            }
+        }
+
+        // ---- Dispatch stage ----
+        if self.dispatch_blocked_until > now
+            || self.fetch_blocked_until > now
+            || self.ifetch_ticket.is_some()
+        {
+            return;
+        }
+        let mut dispatched = 0;
+        while dispatched < self.cfg.width {
+            if self.rob.len() >= self.cfg.rob_entries {
+                self.stats.rob_full_cycles += 1;
+                break;
+            }
+            let instr = match self.buffered.take().or_else(|| {
+                if self.stream_done {
+                    None
+                } else {
+                    let n = stream.next_instr();
+                    if n.is_none() {
+                        self.stream_done = true;
+                    }
+                    n
+                }
+            }) {
+                Some(i) => i,
+                None => break,
+            };
+
+            // Instruction fetch: crossing into a new line touches the I-side.
+            let line = self.pc >> 6;
+            if line != self.fetched_line {
+                self.fetched_line = line;
+                match port.ifetch(now, self.id, VirtAddr(self.pc)) {
+                    MemReply::Done { ready_at } => {
+                        if ready_at > now {
+                            // Front-end hiccup: finish this instruction after
+                            // the fetch returns.
+                            self.fetch_blocked_until = ready_at;
+                        }
+                    }
+                    MemReply::Pending { ticket, primary } => {
+                        let s = self.stats.tags.get_mut(MemTag::segment(Segment::Code));
+                        if primary {
+                            s.llc_misses += 1;
+                        }
+                        s.accesses += 1;
+                        self.ifetch_ticket = Some(ticket);
+                    }
+                    MemReply::Retry => {
+                        // Retry the fetch next cycle; re-buffer the instr.
+                        self.fetched_line = u64::MAX;
+                        self.buffered = Some(instr);
+                        break;
+                    }
+                }
+            }
+
+            let seq = self.next_seq;
+            match instr {
+                Instr::Compute => {
+                    self.rob.push_back(RobEntry {
+                        seq,
+                        done: true,
+                        ready_at: now + 1,
+                        is_load: false,
+                        llc_miss: false,
+                        tag: None,
+                    });
+                    self.pc += 4;
+                }
+                Instr::Branch { mispredict, target } => {
+                    self.rob.push_back(RobEntry {
+                        seq,
+                        done: true,
+                        ready_at: now + 1,
+                        is_load: false,
+                        llc_miss: false,
+                        tag: None,
+                    });
+                    self.pc = target.map_or(self.pc + 4, |t| t.0);
+                    if mispredict {
+                        self.stats.mispredicts += 1;
+                        self.dispatch_blocked_until = now + self.cfg.mispredict_penalty;
+                    }
+                }
+                Instr::Load {
+                    va,
+                    tag,
+                    dependent,
+                    chain,
+                } => {
+                    if self.lq_used >= self.cfg.lq_entries {
+                        self.stats.lq_full_cycles += 1;
+                        self.buffered = Some(instr);
+                        break;
+                    }
+                    self.lq_used += 1;
+                    self.stats.loads += 1;
+                    self.stats.tags.get_mut(tag).accesses += 1;
+                    self.rob.push_back(RobEntry {
+                        seq,
+                        done: false,
+                        ready_at: Cycle::MAX,
+                        is_load: true,
+                        llc_miss: false,
+                        tag: Some(tag),
+                    });
+                    self.waiting.push(WaitingLoad {
+                        seq,
+                        va,
+                        tag,
+                        dep_seq: if dependent {
+                            self.last_load_by_chain.get(&chain).copied()
+                        } else {
+                            None
+                        },
+                    });
+                    self.last_load_by_chain.insert(chain, seq);
+                    self.pc += 4;
+                }
+                Instr::Store { va, tag } => {
+                    self.stats.stores += 1;
+                    let s = self.stats.tags.get_mut(tag);
+                    s.accesses += 1;
+                    let reply = port.store(now, self.id, va, tag);
+                    if reply.primary_miss {
+                        self.stats.tags.get_mut(tag).llc_misses += 1;
+                    }
+                    self.rob.push_back(RobEntry {
+                        seq,
+                        done: true,
+                        ready_at: now + 1,
+                        is_load: false,
+                        llc_miss: false,
+                        tag: Some(tag),
+                    });
+                    self.pc += 4;
+                }
+            }
+            self.next_seq += 1;
+            dispatched += 1;
+            if self.dispatch_blocked_until > now || self.fetch_blocked_until > now {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moca_common::ObjectId;
+
+    /// Test hierarchy: every load misses and completes `latency` cycles
+    /// later; ifetches and stores always hit.
+    struct FakePort {
+        latency: Cycle,
+        next_ticket: u64,
+        inflight: Vec<(u64, Cycle)>,
+        max_inflight: usize,
+        peak: usize,
+    }
+
+    impl FakePort {
+        fn new(latency: Cycle) -> FakePort {
+            FakePort {
+                latency,
+                next_ticket: 0,
+                inflight: Vec::new(),
+                max_inflight: usize::MAX,
+                peak: 0,
+            }
+        }
+
+        fn drain(&mut self, now: Cycle, core: &mut Core) {
+            let mut i = 0;
+            while i < self.inflight.len() {
+                if self.inflight[i].1 <= now {
+                    let (t, _) = self.inflight.swap_remove(i);
+                    core.complete(t, now);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    impl MemPort for FakePort {
+        fn load(&mut self, now: Cycle, _core: CoreId, _va: VirtAddr, _tag: MemTag) -> MemReply {
+            if self.inflight.len() >= self.max_inflight {
+                return MemReply::Retry;
+            }
+            let ticket = self.next_ticket;
+            self.next_ticket += 1;
+            self.inflight.push((ticket, now + self.latency));
+            self.peak = self.peak.max(self.inflight.len());
+            MemReply::Pending {
+                ticket,
+                primary: true,
+            }
+        }
+
+        fn store(&mut self, _now: Cycle, _core: CoreId, _va: VirtAddr, _tag: MemTag) -> StoreReply {
+            StoreReply::default()
+        }
+
+        fn ifetch(&mut self, now: Cycle, _core: CoreId, _va: VirtAddr) -> MemReply {
+            MemReply::Done { ready_at: now + 2 }
+        }
+    }
+
+    fn run<S: InstrStream>(core: &mut Core, port: &mut FakePort, stream: &mut S, limit: Cycle) {
+        let mut now = 0;
+        while !core.finished() && now < limit {
+            now += 1;
+            port.drain(now, core);
+            core.tick(now, port, stream);
+        }
+        assert!(core.finished(), "core did not finish within {limit} cycles");
+    }
+
+    fn loads(n: usize, dependent: bool) -> Vec<Instr> {
+        (0..n)
+            .map(|i| Instr::Load {
+                va: VirtAddr(0x2000_0000 + (i as u64) * 64),
+                tag: MemTag::heap(ObjectId(0)),
+                dependent,
+                chain: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compute_ipc_approaches_width() {
+        let mut core = Core::new(CoreId(0), CoreConfig::default());
+        let mut port = FakePort::new(100);
+        let mut s = vec![Instr::Compute; 3000].into_iter();
+        run(&mut core, &mut port, &mut s, 100_000);
+        let ipc = core.stats().ipc();
+        assert!(ipc > 2.0, "compute IPC too low: {ipc}");
+        assert_eq!(core.stats().committed, 3000);
+    }
+
+    #[test]
+    fn independent_loads_overlap() {
+        let mut core = Core::new(CoreId(0), CoreConfig::default());
+        let mut port = FakePort::new(100);
+        let mut s = loads(64, false).into_iter();
+        run(&mut core, &mut port, &mut s, 100_000);
+        // With 32 LQ entries and 100-cycle misses, 64 loads should take
+        // roughly 2-3 round trips, not 64.
+        assert!(
+            core.stats().cycles < 64 * 100 / 4,
+            "no MLP: {} cycles",
+            core.stats().cycles
+        );
+        assert!(port.peak > 8, "loads did not overlap: peak {}", port.peak);
+    }
+
+    #[test]
+    fn dependent_loads_serialize() {
+        let mut core = Core::new(CoreId(0), CoreConfig::default());
+        let mut port = FakePort::new(100);
+        let mut s = loads(32, true).into_iter();
+        run(&mut core, &mut port, &mut s, 1_000_000);
+        assert!(
+            core.stats().cycles >= 32 * 100,
+            "chased loads overlapped: {} cycles",
+            core.stats().cycles
+        );
+        assert!(port.peak <= 2, "peak {} should be ~1", port.peak);
+    }
+
+    #[test]
+    fn stall_per_miss_separates_mlp_regimes() {
+        // The classifier's key signal: dependent chains show ~latency stall
+        // per miss; independent streams show far less.
+        let mut dep_core = Core::new(CoreId(0), CoreConfig::default());
+        let mut port = FakePort::new(100);
+        let mut s = loads(32, true).into_iter();
+        run(&mut dep_core, &mut port, &mut s, 1_000_000);
+        let dep_stall = dep_core.stats().tags.object(ObjectId(0)).stall_per_miss();
+
+        let mut ind_core = Core::new(CoreId(0), CoreConfig::default());
+        let mut port = FakePort::new(100);
+        let mut s = loads(256, false).into_iter();
+        run(&mut ind_core, &mut port, &mut s, 1_000_000);
+        let ind_stall = ind_core.stats().tags.object(ObjectId(0)).stall_per_miss();
+
+        assert!(
+            dep_stall > ind_stall * 3.0,
+            "dependent {dep_stall:.1} vs independent {ind_stall:.1}"
+        );
+    }
+
+    #[test]
+    fn lq_bounds_outstanding_loads() {
+        let cfg = CoreConfig {
+            lq_entries: 8,
+            ..CoreConfig::default()
+        };
+        let mut core = Core::new(CoreId(0), cfg);
+        let mut port = FakePort::new(50);
+        let mut s = loads(64, false).into_iter();
+        run(&mut core, &mut port, &mut s, 100_000);
+        assert!(port.peak <= 8, "LQ leak: peak {}", port.peak);
+        assert!(core.stats().lq_full_cycles > 0);
+    }
+
+    #[test]
+    fn mispredicts_cost_cycles() {
+        let clean: Vec<Instr> = (0..1000)
+            .map(|i| {
+                if i % 10 == 0 {
+                    Instr::Branch {
+                        mispredict: false,
+                        target: None,
+                    }
+                } else {
+                    Instr::Compute
+                }
+            })
+            .collect();
+        let noisy: Vec<Instr> = clean
+            .iter()
+            .map(|i| match i {
+                Instr::Branch { .. } => Instr::Branch {
+                    mispredict: true,
+                    target: None,
+                },
+                other => *other,
+            })
+            .collect();
+        let mut c1 = Core::new(CoreId(0), CoreConfig::default());
+        let mut p1 = FakePort::new(10);
+        run(&mut c1, &mut p1, &mut clean.into_iter(), 100_000);
+        let mut c2 = Core::new(CoreId(0), CoreConfig::default());
+        let mut p2 = FakePort::new(10);
+        run(&mut c2, &mut p2, &mut noisy.into_iter(), 100_000);
+        assert!(c2.stats().cycles > c1.stats().cycles * 2);
+        assert_eq!(c2.stats().mispredicts, 100);
+    }
+
+    #[test]
+    fn per_tag_attribution_is_exact() {
+        let mut core = Core::new(CoreId(0), CoreConfig::default());
+        let mut port = FakePort::new(20);
+        let mut instrs = Vec::new();
+        for i in 0..10 {
+            instrs.push(Instr::Load {
+                va: VirtAddr(0x2000_0000 + i * 64),
+                tag: MemTag::heap(ObjectId(0)),
+                dependent: false,
+                chain: 0,
+            });
+            instrs.push(Instr::Store {
+                va: VirtAddr(0x4000_0000 + i * 64),
+                tag: MemTag::heap(ObjectId(1)),
+            });
+        }
+        run(&mut core, &mut port, &mut instrs.into_iter(), 100_000);
+        let o0 = core.stats().tags.object(ObjectId(0));
+        let o1 = core.stats().tags.object(ObjectId(1));
+        assert_eq!(o0.accesses, 10);
+        assert_eq!(o0.llc_misses, 10);
+        assert_eq!(o1.accesses, 10);
+        assert_eq!(o1.llc_misses, 0); // FakePort stores never miss
+        assert_eq!(core.stats().loads, 10);
+        assert_eq!(core.stats().stores, 10);
+    }
+
+    #[test]
+    fn retry_backpressure_does_not_lose_loads() {
+        let mut core = Core::new(CoreId(0), CoreConfig::default());
+        let mut port = FakePort::new(30);
+        port.max_inflight = 2;
+        let mut s = loads(40, false).into_iter();
+        run(&mut core, &mut port, &mut s, 1_000_000);
+        assert_eq!(core.stats().committed, 40);
+        assert!(port.peak <= 2);
+    }
+
+    #[test]
+    fn finished_only_after_drain() {
+        let mut core = Core::new(CoreId(0), CoreConfig::default());
+        let mut port = FakePort::new(500);
+        let mut s = loads(1, false).into_iter();
+        core.tick(1, &mut port, &mut s);
+        core.tick(2, &mut port, &mut s);
+        assert!(!core.finished(), "load still outstanding");
+        port.drain(502, &mut core);
+        core.tick(503, &mut port, &mut s);
+        assert!(core.finished());
+    }
+
+    #[test]
+    fn blocked_on_memory_detected() {
+        let mut core = Core::new(CoreId(0), CoreConfig::default());
+        let mut port = FakePort::new(1000);
+        let mut s = loads(1, true).into_iter();
+        let mut now = 0;
+        // Dispatch and issue the load, then exhaust local work.
+        for _ in 0..5 {
+            now += 1;
+            core.tick(now, &mut port, &mut s);
+        }
+        assert!(core.blocked_on_memory(now));
+        assert_eq!(core.next_local_event(now), None);
+    }
+}

@@ -1,0 +1,70 @@
+//! Instruction abstraction consumed by the core model.
+
+use moca_common::ids::MemTag;
+use moca_common::VirtAddr;
+
+/// One dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// A non-memory ALU/FP instruction: executes in one cycle.
+    Compute,
+    /// A branch. `mispredict` redirects the front end for the configured
+    /// penalty; `target` moves the fetch PC (modelling I-cache behaviour).
+    Branch {
+        /// Whether the predictor missed this branch.
+        mispredict: bool,
+        /// Branch target; `None` ⇒ not-taken (fall through).
+        target: Option<VirtAddr>,
+    },
+    /// A load from `va`.
+    Load {
+        /// Virtual address accessed.
+        va: VirtAddr,
+        /// Attribution tag (heap object or segment).
+        tag: MemTag,
+        /// Address depends on the previous load's data (pointer chasing):
+        /// the load may not issue until that load completes. This is what
+        /// destroys memory-level parallelism for chase-patterned objects.
+        dependent: bool,
+        /// Dependence-chain identifier: a dependent load waits on the
+        /// previous load of the *same chain*. Chains usually map 1:1 to
+        /// objects, but one traversal may span several objects (mcf walks
+        /// arcs→nodes→arcs in a single chain), so the key is explicit.
+        chain: u16,
+    },
+    /// A store to `va`. Retires immediately through the store buffer but
+    /// generates cache/DRAM traffic.
+    Store {
+        /// Virtual address accessed.
+        va: VirtAddr,
+        /// Attribution tag.
+        tag: MemTag,
+    },
+}
+
+/// A supplier of dynamic instructions (one simulated application thread).
+pub trait InstrStream {
+    /// Produce the next instruction, or `None` when the program ends.
+    fn next_instr(&mut self) -> Option<Instr>;
+}
+
+/// Blanket implementation so closures and iterators can act as streams in
+/// tests.
+impl<I: Iterator<Item = Instr>> InstrStream for I {
+    fn next_instr(&mut self) -> Option<Instr> {
+        self.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterator_is_a_stream() {
+        let mut s = vec![Instr::Compute, Instr::Compute].into_iter();
+        assert_eq!(s.next_instr(), Some(Instr::Compute));
+        assert_eq!(s.next_instr(), Some(Instr::Compute));
+        assert_eq!(s.next_instr(), None);
+    }
+}

@@ -1,0 +1,257 @@
+//! Per-tag (object / segment) statistics — the raw material of MOCA's
+//! profiler.
+
+use moca_common::ids::MemTag;
+use moca_common::{ObjectId, Segment};
+use serde::{Deserialize, Serialize};
+
+/// Counters attributed to one memory object or segment.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TagStats {
+    /// Demand accesses (loads + stores) issued.
+    pub accesses: u64,
+    /// Primary LLC (L2) misses — the numerator of LLC MPKI.
+    pub llc_misses: u64,
+    /// Loads that had to wait on DRAM (primary or merged misses).
+    pub miss_loads: u64,
+    /// Cycles the ROB head was blocked on an incomplete LLC-missing load of
+    /// this tag (§III-A's "ROB head stall cycles").
+    pub rob_head_stall_cycles: u64,
+}
+
+impl TagStats {
+    /// LLC misses per kilo-instruction, given the run's instruction count.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        moca_common::stats::safe_div(self.llc_misses as f64 * 1000.0, instructions as f64)
+    }
+
+    /// Average ROB-head stall cycles per missing load — the paper's MLP
+    /// metric (low ⇒ high MLP).
+    pub fn stall_per_miss(&self) -> f64 {
+        moca_common::stats::safe_div(self.rob_head_stall_cycles as f64, self.miss_loads as f64)
+    }
+
+    /// Merge counters from another run segment.
+    pub fn merge(&mut self, o: &TagStats) {
+        self.accesses += o.accesses;
+        self.llc_misses += o.llc_misses;
+        self.miss_loads += o.miss_loads;
+        self.rob_head_stall_cycles += o.rob_head_stall_cycles;
+    }
+}
+
+/// Dense table of [`TagStats`] indexed by heap object id, plus one slot per
+/// non-heap segment. Objects get dense ids from the naming registry, so a
+/// `Vec` beats a hash map on the per-access hot path.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TagTable {
+    heap: Vec<TagStats>,
+    code: TagStats,
+    data: TagStats,
+    stack: TagStats,
+}
+
+impl TagTable {
+    /// Table sized for `objects` heap objects.
+    pub fn new(objects: usize) -> TagTable {
+        TagTable {
+            heap: vec![TagStats::default(); objects],
+            ..TagTable::default()
+        }
+    }
+
+    /// Mutable stats slot for `tag`, growing the heap table on demand.
+    pub fn get_mut(&mut self, tag: MemTag) -> &mut TagStats {
+        match tag.segment {
+            Segment::Heap => {
+                let id = tag.object.expect("heap tag carries an object").0 as usize;
+                if id >= self.heap.len() {
+                    self.heap.resize(id + 1, TagStats::default());
+                }
+                &mut self.heap[id]
+            }
+            Segment::Code => &mut self.code,
+            Segment::Data => &mut self.data,
+            Segment::Stack => &mut self.stack,
+        }
+    }
+
+    /// Stats of a heap object (zeros if never touched).
+    pub fn object(&self, id: ObjectId) -> TagStats {
+        self.heap.get(id.0 as usize).copied().unwrap_or_default()
+    }
+
+    /// Stats of a non-heap segment.
+    pub fn segment(&self, seg: Segment) -> TagStats {
+        match seg {
+            Segment::Code => self.code,
+            Segment::Data => self.data,
+            Segment::Stack => self.stack,
+            Segment::Heap => {
+                let mut total = TagStats::default();
+                for t in &self.heap {
+                    total.merge(t);
+                }
+                total
+            }
+        }
+    }
+
+    /// Number of heap object slots.
+    pub fn objects(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Iterate `(ObjectId, stats)` over heap objects.
+    pub fn iter_objects(&self) -> impl Iterator<Item = (ObjectId, &TagStats)> + '_ {
+        self.heap
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ObjectId(i as u32), s))
+    }
+
+    /// Merge another table into this one.
+    pub fn merge(&mut self, other: &TagTable) {
+        if other.heap.len() > self.heap.len() {
+            self.heap.resize(other.heap.len(), TagStats::default());
+        }
+        for (a, b) in self.heap.iter_mut().zip(other.heap.iter()) {
+            a.merge(b);
+        }
+        self.code.merge(&other.code);
+        self.data.merge(&other.data);
+        self.stack.merge(&other.stack);
+    }
+}
+
+/// Whole-core run statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Instructions committed.
+    pub committed: u64,
+    /// Cycles the core has been ticked.
+    pub cycles: u64,
+    /// Total ROB-head stall cycles on LLC-missing loads.
+    pub head_stall_cycles: u64,
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// Branch mispredict redirects taken.
+    pub mispredicts: u64,
+    /// Cycles dispatch was blocked on a full ROB.
+    pub rob_full_cycles: u64,
+    /// Cycles dispatch was blocked on a full LQ.
+    pub lq_full_cycles: u64,
+    /// Per-tag attribution.
+    pub tags: TagTable,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        moca_common::stats::safe_div(self.committed as f64, self.cycles as f64)
+    }
+
+    /// Whole-application LLC MPKI (all tags).
+    pub fn app_mpki(&self) -> f64 {
+        let total: u64 = self
+            .tags
+            .iter_objects()
+            .map(|(_, s)| s.llc_misses)
+            .sum::<u64>()
+            + self.tags.segment(Segment::Code).llc_misses
+            + self.tags.segment(Segment::Data).llc_misses
+            + self.tags.segment(Segment::Stack).llc_misses;
+        moca_common::stats::safe_div(total as f64 * 1000.0, self.committed as f64)
+    }
+
+    /// Whole-application ROB-head stall cycles per missing load.
+    pub fn app_stall_per_miss(&self) -> f64 {
+        let mut stalls = 0u64;
+        let mut miss_loads = 0u64;
+        for (_, s) in self.tags.iter_objects() {
+            stalls += s.rob_head_stall_cycles;
+            miss_loads += s.miss_loads;
+        }
+        for seg in [Segment::Code, Segment::Data, Segment::Stack] {
+            let s = self.tags.segment(seg);
+            stalls += s.rob_head_stall_cycles;
+            miss_loads += s.miss_loads;
+        }
+        moca_common::stats::safe_div(stalls as f64, miss_loads as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_scales_with_instructions() {
+        let s = TagStats {
+            llc_misses: 50,
+            ..TagStats::default()
+        };
+        assert!((s.mpki(10_000) - 5.0).abs() < 1e-12);
+        assert_eq!(s.mpki(0), 0.0);
+    }
+
+    #[test]
+    fn stall_per_miss_divides() {
+        let s = TagStats {
+            miss_loads: 4,
+            rob_head_stall_cycles: 100,
+            ..TagStats::default()
+        };
+        assert!((s.stall_per_miss() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tag_table_routes_segments_and_objects() {
+        let mut t = TagTable::new(2);
+        t.get_mut(MemTag::heap(ObjectId(1))).accesses += 3;
+        t.get_mut(MemTag::segment(Segment::Stack)).accesses += 2;
+        assert_eq!(t.object(ObjectId(1)).accesses, 3);
+        assert_eq!(t.object(ObjectId(0)).accesses, 0);
+        assert_eq!(t.segment(Segment::Stack).accesses, 2);
+    }
+
+    #[test]
+    fn tag_table_grows_on_demand() {
+        let mut t = TagTable::new(0);
+        t.get_mut(MemTag::heap(ObjectId(5))).llc_misses += 1;
+        assert_eq!(t.objects(), 6);
+        assert_eq!(t.object(ObjectId(5)).llc_misses, 1);
+    }
+
+    #[test]
+    fn heap_segment_query_sums_objects() {
+        let mut t = TagTable::new(2);
+        t.get_mut(MemTag::heap(ObjectId(0))).llc_misses = 2;
+        t.get_mut(MemTag::heap(ObjectId(1))).llc_misses = 3;
+        assert_eq!(t.segment(Segment::Heap).llc_misses, 5);
+    }
+
+    #[test]
+    fn merge_tables() {
+        let mut a = TagTable::new(1);
+        let mut b = TagTable::new(3);
+        a.get_mut(MemTag::heap(ObjectId(0))).accesses = 1;
+        b.get_mut(MemTag::heap(ObjectId(2))).accesses = 7;
+        a.merge(&b);
+        assert_eq!(a.objects(), 3);
+        assert_eq!(a.object(ObjectId(2)).accesses, 7);
+        assert_eq!(a.object(ObjectId(0)).accesses, 1);
+    }
+
+    #[test]
+    fn core_stats_ipc() {
+        let s = CoreStats {
+            committed: 300,
+            cycles: 100,
+            ..CoreStats::default()
+        };
+        assert!((s.ipc() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,219 @@
+//! Property-based tests of the out-of-order core: for arbitrary instruction
+//! streams and memory-latency behaviours, the pipeline retires everything
+//! exactly once, respects its structural limits, and keeps its statistics
+//! consistent.
+
+use moca_common::ids::MemTag;
+use moca_common::{CoreId, Cycle, ObjectId, VirtAddr};
+use moca_cpu::{Core, CoreConfig, Instr, MemPort, MemReply, StoreReply};
+use proptest::prelude::*;
+
+/// Scriptable memory: per-load latency drawn from the test's latency list;
+/// occasionally replies `Retry`; tracks peak outstanding.
+struct ScriptedPort {
+    latencies: Vec<u16>,
+    cursor: usize,
+    retry_every: usize,
+    calls: usize,
+    next_ticket: u64,
+    inflight: Vec<(u64, Cycle)>,
+    peak: usize,
+}
+
+impl ScriptedPort {
+    fn new(latencies: Vec<u16>, retry_every: usize) -> ScriptedPort {
+        ScriptedPort {
+            latencies,
+            cursor: 0,
+            retry_every,
+            calls: 0,
+            next_ticket: 0,
+            inflight: Vec::new(),
+            peak: 0,
+        }
+    }
+
+    fn drain(&mut self, now: Cycle, core: &mut Core) {
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].1 <= now {
+                let (t, _) = self.inflight.swap_remove(i);
+                core.complete(t, now);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl MemPort for ScriptedPort {
+    fn load(&mut self, now: Cycle, _core: CoreId, _va: VirtAddr, _tag: MemTag) -> MemReply {
+        self.calls += 1;
+        if self.retry_every > 0 && self.calls.is_multiple_of(self.retry_every) {
+            return MemReply::Retry;
+        }
+        let lat = self.latencies[self.cursor % self.latencies.len()] as Cycle;
+        self.cursor += 1;
+        if lat <= 2 {
+            MemReply::Done { ready_at: now + 2 }
+        } else {
+            let ticket = self.next_ticket;
+            self.next_ticket += 1;
+            self.inflight.push((ticket, now + lat));
+            self.peak = self.peak.max(self.inflight.len());
+            MemReply::Pending {
+                ticket,
+                primary: true,
+            }
+        }
+    }
+
+    fn store(&mut self, _now: Cycle, _core: CoreId, _va: VirtAddr, _tag: MemTag) -> StoreReply {
+        StoreReply {
+            primary_miss: false,
+        }
+    }
+
+    fn ifetch(&mut self, now: Cycle, _core: CoreId, _va: VirtAddr) -> MemReply {
+        MemReply::Done { ready_at: now }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Compute,
+    Branch(bool),
+    Load { obj: u8, dependent: bool },
+    Store { obj: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Compute),
+        1 => any::<bool>().prop_map(Op::Branch),
+        3 => (0u8..4, any::<bool>()).prop_map(|(obj, dependent)| Op::Load { obj, dependent }),
+        1 => (0u8..4).prop_map(|obj| Op::Store { obj }),
+    ]
+}
+
+fn to_instr(op: &Op, i: usize) -> Instr {
+    let va = VirtAddr(0x2000_0000 + (i as u64 % 4096) * 64);
+    match op {
+        Op::Compute => Instr::Compute,
+        Op::Branch(m) => Instr::Branch {
+            mispredict: *m,
+            target: None,
+        },
+        Op::Load { obj, dependent } => Instr::Load {
+            va,
+            tag: MemTag::heap(ObjectId(*obj as u32)),
+            dependent: *dependent,
+            chain: *obj as u16,
+        },
+        Op::Store { obj } => Instr::Store {
+            va,
+            tag: MemTag::heap(ObjectId(*obj as u32)),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every instruction commits exactly once, whatever the stream and
+    /// latency mix; loads + stores + others account for all commits.
+    #[test]
+    fn everything_commits_exactly_once(
+        ops in prop::collection::vec(arb_op(), 1..400),
+        latencies in prop::collection::vec(1u16..120, 1..16),
+        // 0 = never retry; >= 2 so a retried load eventually succeeds
+        // (retry_every = 1 would be a port that never accepts anything).
+        retry_every in prop_oneof![Just(0usize), 2usize..7],
+    ) {
+        let mut core = Core::new(CoreId(0), CoreConfig::default());
+        let mut port = ScriptedPort::new(latencies, retry_every);
+        let n = ops.len() as u64;
+        let loads = ops.iter().filter(|o| matches!(o, Op::Load { .. })).count() as u64;
+        let stores = ops.iter().filter(|o| matches!(o, Op::Store { .. })).count() as u64;
+        let mut stream = ops.iter().enumerate().map(|(i, o)| to_instr(o, i));
+        let mut now = 0;
+        while !core.finished() {
+            now += 1;
+            port.drain(now, &mut core);
+            core.tick(now, &mut port, &mut stream);
+            prop_assert!(now < 2_000_000, "did not drain");
+        }
+        prop_assert_eq!(core.stats().committed, n);
+        prop_assert_eq!(core.stats().loads, loads);
+        prop_assert_eq!(core.stats().stores, stores);
+        // Tag attribution covers every memory access.
+        let tag_accesses: u64 = core
+            .stats()
+            .tags
+            .iter_objects()
+            .map(|(_, s)| s.accesses)
+            .sum();
+        prop_assert_eq!(tag_accesses, loads + stores);
+    }
+
+    /// The load queue bounds outstanding misses regardless of stream shape.
+    #[test]
+    fn lq_bound_is_never_exceeded(
+        ops in prop::collection::vec(arb_op(), 50..300),
+        lq in 4usize..32,
+    ) {
+        let cfg = CoreConfig { lq_entries: lq, ..CoreConfig::default() };
+        let mut core = Core::new(CoreId(0), cfg);
+        let mut port = ScriptedPort::new(vec![90], 0);
+        let mut stream = ops.iter().enumerate().map(|(i, o)| to_instr(o, i));
+        let mut now = 0;
+        while !core.finished() {
+            now += 1;
+            port.drain(now, &mut core);
+            core.tick(now, &mut port, &mut stream);
+            prop_assert!(port.peak <= lq, "peak {} > LQ {lq}", port.peak);
+            prop_assert!(now < 2_000_000);
+        }
+    }
+
+    /// IPC can never exceed the pipeline width, and cycles always cover at
+    /// least `committed / width`.
+    #[test]
+    fn ipc_bounded_by_width(ops in prop::collection::vec(arb_op(), 10..300)) {
+        let mut core = Core::new(CoreId(0), CoreConfig::default());
+        let mut port = ScriptedPort::new(vec![1, 40], 0);
+        let mut stream = ops.iter().enumerate().map(|(i, o)| to_instr(o, i));
+        let mut now = 0;
+        while !core.finished() {
+            now += 1;
+            port.drain(now, &mut core);
+            core.tick(now, &mut port, &mut stream);
+            prop_assert!(now < 2_000_000);
+        }
+        prop_assert!(core.stats().ipc() <= 3.0 + 1e-9);
+        prop_assert!(core.stats().cycles * 3 >= core.stats().committed);
+    }
+
+    /// Determinism: the same stream and port script give identical stats.
+    #[test]
+    fn replay_is_identical(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let run = || {
+            let mut core = Core::new(CoreId(0), CoreConfig::default());
+            let mut port = ScriptedPort::new(vec![3, 55, 17], 5);
+            let mut stream = ops.iter().enumerate().map(|(i, o)| to_instr(o, i));
+            let mut now = 0;
+            while !core.finished() {
+                now += 1;
+                port.drain(now, &mut core);
+                core.tick(now, &mut port, &mut stream);
+                assert!(now < 2_000_000);
+            }
+            (
+                core.stats().cycles,
+                core.stats().head_stall_cycles,
+                core.stats().mispredicts,
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

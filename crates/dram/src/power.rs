@@ -1,0 +1,172 @@
+//! Analytic DRAM energy model.
+//!
+//! The paper feeds simulated read/write activity into Micron's DRAM power
+//! calculators. Table II condenses the result into per-capacity standby and
+//! active power coefficients; we integrate the same coefficients over
+//! simulated time and add a per-activation term so that technologies with
+//! tiny row buffers (RLDRAM3) pay their real activation cost. See
+//! [`crate::timing`] for the source-text reconstruction notes.
+
+use moca_common::units::cycles_to_seconds;
+use moca_common::{Cycle, GB};
+use serde::{Deserialize, Serialize};
+
+/// Power coefficients of one memory technology.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PowerCoefficients {
+    /// Background (standby + refresh) power, mW per GB of capacity.
+    pub standby_mw_per_gb: f64,
+    /// Additional power while the device is actively transferring or has
+    /// banks open, W per GB of capacity.
+    pub active_w_per_gb: f64,
+    /// Energy per row activation, nJ.
+    pub act_energy_nj: f64,
+}
+
+impl PowerCoefficients {
+    /// DDR3 coefficients (Table II).
+    pub fn ddr3() -> Self {
+        PowerCoefficients {
+            standby_mw_per_gb: 256.0,
+            active_w_per_gb: 1.5,
+            act_energy_nj: 2.0,
+        }
+    }
+
+    /// HBM coefficients (Table II; active power reflects the much higher
+    /// deliverable bandwidth per GB).
+    pub fn hbm() -> Self {
+        PowerCoefficients {
+            standby_mw_per_gb: 335.0,
+            active_w_per_gb: 4.5,
+            act_energy_nj: 1.2,
+        }
+    }
+
+    /// RLDRAM3 coefficients — reconstructed from §II-A's "4–5× DDR3"
+    /// statement for both static and dynamic power (the power rows of our
+    /// source text are OCR-garbled).
+    pub fn rldram3() -> Self {
+        PowerCoefficients {
+            standby_mw_per_gb: 1150.0,
+            active_w_per_gb: 6.75,
+            act_energy_nj: 0.6,
+        }
+    }
+
+    /// LPDDR2 coefficients (Table II).
+    pub fn lpddr2() -> Self {
+        PowerCoefficients {
+            standby_mw_per_gb: 6.5,
+            active_w_per_gb: 0.4,
+            act_energy_nj: 1.5,
+        }
+    }
+}
+
+/// Integrated energy of one channel over a run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Background energy (J): standby power × capacity × wall time.
+    pub standby_j: f64,
+    /// Active energy (J): active power × capacity × busy time.
+    pub active_j: f64,
+    /// Activation energy (J): activates × per-ACT energy.
+    pub activate_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.standby_j + self.active_j + self.activate_j
+    }
+
+    /// Compute the breakdown from raw activity numbers.
+    pub fn compute(
+        coeff: &PowerCoefficients,
+        capacity_bytes: u64,
+        runtime: Cycle,
+        busy: Cycle,
+        activates: u64,
+    ) -> EnergyBreakdown {
+        let cap_gb = capacity_bytes as f64 / GB as f64;
+        let t = cycles_to_seconds(runtime);
+        let tb = cycles_to_seconds(busy.min(runtime));
+        EnergyBreakdown {
+            standby_j: coeff.standby_mw_per_gb * 1e-3 * cap_gb * t,
+            active_j: coeff.active_w_per_gb * cap_gb * tb,
+            activate_j: activates as f64 * coeff.act_energy_nj * 1e-9,
+        }
+    }
+
+    /// Sum two breakdowns.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        self.standby_j += other.standby_j;
+        self.active_j += other.active_j;
+        self.activate_j += other.activate_j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moca_common::MB;
+
+    #[test]
+    fn idle_channel_consumes_only_standby() {
+        let e = EnergyBreakdown::compute(&PowerCoefficients::ddr3(), GB, 1_000_000_000, 0, 0);
+        // 256 mW × 1 GB × 1 s = 0.256 J
+        assert!((e.standby_j - 0.256).abs() < 1e-9);
+        assert_eq!(e.active_j, 0.0);
+        assert_eq!(e.activate_j, 0.0);
+    }
+
+    #[test]
+    fn busy_is_clamped_to_runtime() {
+        let e = EnergyBreakdown::compute(&PowerCoefficients::ddr3(), GB, 100, 500, 0);
+        let f = EnergyBreakdown::compute(&PowerCoefficients::ddr3(), GB, 100, 100, 0);
+        assert_eq!(e.active_j, f.active_j);
+    }
+
+    #[test]
+    fn lpddr_is_cheapest_at_idle() {
+        let run = 1_000_000;
+        let cap = 512 * MB;
+        let mut totals: Vec<(f64, &str)> = vec![
+            (
+                EnergyBreakdown::compute(&PowerCoefficients::lpddr2(), cap, run, 0, 0).total_j(),
+                "lp",
+            ),
+            (
+                EnergyBreakdown::compute(&PowerCoefficients::ddr3(), cap, run, 0, 0).total_j(),
+                "ddr3",
+            ),
+            (
+                EnergyBreakdown::compute(&PowerCoefficients::hbm(), cap, run, 0, 0).total_j(),
+                "hbm",
+            ),
+            (
+                EnergyBreakdown::compute(&PowerCoefficients::rldram3(), cap, run, 0, 0).total_j(),
+                "rl",
+            ),
+        ];
+        totals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert_eq!(totals[0].1, "lp");
+        assert_eq!(totals[3].1, "rl");
+    }
+
+    #[test]
+    fn merge_adds_components() {
+        let mut a = EnergyBreakdown {
+            standby_j: 1.0,
+            active_j: 2.0,
+            activate_j: 3.0,
+        };
+        a.merge(&EnergyBreakdown {
+            standby_j: 0.5,
+            active_j: 0.5,
+            activate_j: 0.5,
+        });
+        assert!((a.total_j() - 7.5).abs() < 1e-12);
+    }
+}

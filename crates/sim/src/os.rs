@@ -1,0 +1,269 @@
+//! The simulated OS: per-application page tables, per-core TLBs, and the
+//! page-fault handler that consults the pluggable placement policy (§IV-D).
+
+use crate::metrics::PlacementReport;
+use moca_common::addr::{PhysAddr, VirtAddr};
+use moca_common::{AppId, Cycle};
+use moca_vm::layout::PageIntent;
+use moca_vm::{FrameSpace, PagePlacementPolicy, PageTable, Tlb};
+
+/// Result of translating one access.
+#[derive(Debug, Clone, Copy)]
+pub struct Translation {
+    /// The physical address.
+    pub pa: PhysAddr,
+    /// Extra front-side latency (page walk, fault handling).
+    pub extra: Cycle,
+}
+
+/// The OS state: frame space, policy, page tables (one per app), TLBs (one
+/// per core).
+pub struct Os {
+    frames: FrameSpace,
+    policy: Box<dyn PagePlacementPolicy>,
+    page_tables: Vec<PageTable>,
+    tlbs: Vec<Tlb>,
+    placement: PlacementReport,
+    /// Reverse map frame → (app, vpn), maintained for page migration.
+    owners: std::collections::HashMap<u64, (usize, u64)>,
+    tlb_miss_penalty: Cycle,
+    page_fault_penalty: Cycle,
+}
+
+impl Os {
+    /// Build the OS for `apps` applications on `cores` cores (one app per
+    /// core in this simulator).
+    pub fn new(
+        frames: FrameSpace,
+        policy: Box<dyn PagePlacementPolicy>,
+        apps: usize,
+        tlb_entries: usize,
+        tlb_miss_penalty: Cycle,
+        page_fault_penalty: Cycle,
+    ) -> Os {
+        Os {
+            frames,
+            placement: PlacementReport::new(apps),
+            policy,
+            page_tables: (0..apps).map(|_| PageTable::new()).collect(),
+            tlbs: (0..apps).map(|_| Tlb::new(tlb_entries)).collect(),
+            owners: std::collections::HashMap::new(),
+            tlb_miss_penalty,
+            page_fault_penalty,
+        }
+    }
+
+    /// Translate a virtual address for the app on `core_idx`, faulting in
+    /// the page on first touch.
+    pub fn translate(&mut self, core_idx: usize, va: VirtAddr) -> Translation {
+        let vpn = va.vpn();
+        if let Some(pfn) = self.tlbs[core_idx].lookup(vpn) {
+            return Translation {
+                pa: PhysAddr::from_parts(pfn, va.page_offset()),
+                extra: 0,
+            };
+        }
+        let mut extra = self.tlb_miss_penalty;
+        let pfn = match self.page_tables[core_idx].translate_vpn(vpn) {
+            Some(pfn) => pfn,
+            None => {
+                extra += self.page_fault_penalty;
+                self.fault(core_idx, va)
+            }
+        };
+        self.tlbs[core_idx].insert(vpn, pfn);
+        Translation {
+            pa: PhysAddr::from_parts(pfn, va.page_offset()),
+            extra,
+        }
+    }
+
+    /// Allocate a page at object instantiation (§IV-E: the OS performs
+    /// allocations for objects at their instantiation, so pages exist
+    /// before first use). No-op if the page is already mapped.
+    pub fn prefault(&mut self, core_idx: usize, va: VirtAddr) {
+        if self.page_tables[core_idx].translate_vpn(va.vpn()).is_none() {
+            self.fault(core_idx, va);
+        }
+    }
+
+    /// Page fault: ask the policy for a frame and map it (used both at
+    /// instantiation time and for any page touched lazily, e.g. stack
+    /// growth).
+    fn fault(&mut self, core_idx: usize, va: VirtAddr) -> u64 {
+        let app = AppId(core_idx as u32);
+        let intent = PageIntent::of_va(va);
+        let pfn = self
+            .policy
+            .place(app, intent, &mut self.frames)
+            .unwrap_or_else(|| {
+                panic!(
+                    "out of physical memory: app {} faulting {va:#x} ({intent:?}) under policy {} \
+                     ({} total frames)",
+                    core_idx,
+                    self.policy.name(),
+                    self.frames.total_frames()
+                )
+            });
+        let kind = self
+            .frames
+            .kind_of(pfn)
+            .expect("allocated frame belongs to a region");
+        self.placement.record(app, intent, kind);
+        self.page_tables[core_idx].map(va.vpn(), pfn);
+        self.owners.insert(pfn, (core_idx, va.vpn()));
+        pfn
+    }
+
+    /// Owner of a physical frame, if mapped.
+    pub fn owner_of(&self, pfn: u64) -> Option<(usize, u64)> {
+        self.owners.get(&pfn).copied()
+    }
+
+    /// Swap the physical frames behind two mapped pages (the OS page
+    /// migration primitive: promote a hot page into a fast module by
+    /// trading frames with a cold page there). Both pages' TLB entries are
+    /// shot down on every core.
+    pub fn swap_frames(&mut self, a_pfn: u64, b_pfn: u64) {
+        assert_ne!(a_pfn, b_pfn, "cannot swap a frame with itself");
+        let (app_a, vpn_a) = self.owners[&a_pfn];
+        let (app_b, vpn_b) = self.owners[&b_pfn];
+        self.page_tables[app_a].unmap(vpn_a);
+        self.page_tables[app_b].unmap(vpn_b);
+        self.page_tables[app_a].map(vpn_a, b_pfn);
+        self.page_tables[app_b].map(vpn_b, a_pfn);
+        self.owners.insert(b_pfn, (app_a, vpn_a));
+        self.owners.insert(a_pfn, (app_b, vpn_b));
+        // TLB shootdown (conservatively on all cores — vpns may collide
+        // across address spaces).
+        for tlb in &mut self.tlbs {
+            tlb.flush();
+        }
+    }
+
+    /// Move a mapped page onto a currently free frame of `kind`; returns
+    /// the new frame, or `None` when that module has no free frame.
+    pub fn move_page_to(&mut self, pfn: u64, kind: moca_common::ModuleKind) -> Option<u64> {
+        let (app, vpn) = *self.owners.get(&pfn)?;
+        // Find the region of the requested kind with space.
+        let region = (0..self.frames.regions().len()).find(|&i| {
+            self.frames.regions()[i].kind == kind && self.frames.free_in_region(i) > 0
+        })?;
+        let new_pfn = self.frames.alloc_in_region(region)?;
+        self.page_tables[app].unmap(vpn);
+        self.page_tables[app].map(vpn, new_pfn);
+        self.owners.remove(&pfn);
+        self.owners.insert(new_pfn, (app, vpn));
+        self.frames.free(pfn);
+        for tlb in &mut self.tlbs {
+            tlb.flush();
+        }
+        Some(new_pfn)
+    }
+
+    /// Placement statistics.
+    pub fn placement(&self) -> &PlacementReport {
+        &self.placement
+    }
+
+    /// Take the placement report at end of run.
+    pub fn take_placement(&mut self) -> PlacementReport {
+        std::mem::replace(&mut self.placement, PlacementReport::new(0))
+    }
+
+    /// Policy name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Frame space (tests / reports).
+    pub fn frames(&self) -> &FrameSpace {
+        &self.frames
+    }
+
+    /// Per-core TLB statistics.
+    pub fn tlb_stats(&self, core_idx: usize) -> moca_vm::tlb::TlbStats {
+        *self.tlbs[core_idx].stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moca_common::{ModuleKind, ObjectClass};
+    use moca_vm::frames::regions_from_capacities;
+    use moca_vm::layout::{partition_base, HeapLayout};
+    use moca_vm::policy::FirstTouchPolicy;
+
+    fn os() -> Os {
+        let frames = FrameSpace::new(regions_from_capacities(&[(
+            ModuleKind::Ddr3,
+            0,
+            1024 * 4096,
+        )]));
+        Os::new(frames, Box::new(FirstTouchPolicy), 2, 4, 36, 120)
+    }
+
+    #[test]
+    fn first_touch_faults_then_hits() {
+        let mut os = os();
+        let va = VirtAddr(partition_base(ObjectClass::NonIntensive) + 0x123);
+        let t1 = os.translate(0, va);
+        assert_eq!(t1.extra, 156, "walk + fault");
+        assert_eq!(t1.pa.0 & 0xfff, 0x123);
+        let t2 = os.translate(0, va);
+        assert_eq!(t2.extra, 0, "TLB hit");
+        assert_eq!(t2.pa, t1.pa);
+    }
+
+    #[test]
+    fn apps_have_separate_address_spaces() {
+        let mut os = os();
+        let va = VirtAddr(partition_base(ObjectClass::NonIntensive));
+        let a = os.translate(0, va);
+        let b = os.translate(1, va);
+        assert_ne!(a.pa, b.pa, "same VA in different apps → different frames");
+    }
+
+    #[test]
+    fn tlb_miss_without_fault_costs_walk_only() {
+        let mut os = os();
+        // Touch 5 pages with a 4-entry TLB, then revisit the first.
+        let mut h = HeapLayout::new();
+        let base = h.alloc_heap(ObjectClass::NonIntensive, 5 * 4096);
+        for i in 0..5u64 {
+            os.translate(0, base.offset(i * 4096));
+        }
+        let t = os.translate(0, base);
+        assert_eq!(t.extra, 36, "page mapped but TLB-evicted");
+    }
+
+    #[test]
+    fn placement_recorded_per_intent() {
+        let mut os = os();
+        os.translate(0, VirtAddr(partition_base(ObjectClass::LatencySensitive)));
+        os.translate(0, VirtAddr(partition_base(ObjectClass::BandwidthSensitive)));
+        let p = os.placement();
+        assert_eq!(p.total_pages(), 2);
+        assert_eq!(
+            p.pages_of_class(
+                AppId(0),
+                Some(ObjectClass::LatencySensitive),
+                ModuleKind::Ddr3
+            ),
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of physical memory")]
+    fn oom_panics_with_context() {
+        let frames = FrameSpace::new(regions_from_capacities(&[(ModuleKind::Ddr3, 0, 4096)]));
+        let mut os = Os::new(frames, Box::new(FirstTouchPolicy), 1, 4, 36, 120);
+        os.translate(0, VirtAddr(partition_base(ObjectClass::NonIntensive)));
+        os.translate(
+            0,
+            VirtAddr(partition_base(ObjectClass::NonIntensive) + 4096),
+        );
+    }
+}

@@ -1,0 +1,538 @@
+//! The whole machine: cores + hierarchies + OS + channels, and the run loop.
+
+use crate::config::SystemConfig;
+use crate::hierarchy::CoreHierarchy;
+use crate::metrics::{ChannelReport, CoreResult, MemMetrics, RunResult};
+use crate::migration::{MigrationConfig, Migrator};
+use crate::os::Os;
+use moca_common::ids::MemTag;
+use moca_common::{CoreId, Cycle, ObjectClass, VirtAddr};
+use moca_cpu::{Core, MemPort, MemReply, StoreReply};
+use moca_dram::{AddressMapper, Channel, Completion};
+use moca_vm::layout::HeapLayout;
+use moca_vm::{FrameSpace, PagePlacementPolicy};
+use moca_workloads::gen::scaled_sizes;
+use moca_workloads::{AppRun, AppSpec, InputSet};
+
+/// One application to launch on one core.
+pub struct AppLaunch {
+    /// The benchmark.
+    pub spec: AppSpec,
+    /// Input set (training or reference).
+    pub input: InputSet,
+    /// Virtual-heap partition per object, in `spec.objects` order. MOCA
+    /// passes its per-object classification; baselines (which have no typed
+    /// heap) pass `NonIntensive` for everything — the *policy* then decides
+    /// placement from other information.
+    pub object_classes: Vec<ObjectClass>,
+}
+
+impl AppLaunch {
+    /// Launch with every object in the default (untyped) partition.
+    pub fn untyped(spec: AppSpec, input: InputSet) -> AppLaunch {
+        let n = spec.objects.len();
+        AppLaunch {
+            spec,
+            input,
+            object_classes: vec![ObjectClass::NonIntensive; n],
+        }
+    }
+}
+
+/// The simulated machine.
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    hiers: Vec<CoreHierarchy>,
+    streams: Vec<AppRun>,
+    app_names: Vec<String>,
+    os: Os,
+    channels: Vec<Channel>,
+    mapper: AddressMapper,
+    tickets: u64,
+    now: Cycle,
+    /// Per-core flag: still inside its measurement window. Cores that reach
+    /// the instruction target keep running (to preserve contention) but
+    /// their memory latencies stop counting toward the metrics.
+    measuring: Vec<bool>,
+    /// Optional dynamic page-migration engine (the runtime-monitoring
+    /// baseline of §IV-E / related work).
+    migrator: Option<Migrator>,
+}
+
+struct Port<'a> {
+    hier: &'a mut CoreHierarchy,
+    channels: &'a mut [Channel],
+    mapper: &'a AddressMapper,
+    os: &'a mut Os,
+    core_idx: usize,
+    tickets: &'a mut u64,
+}
+
+impl MemPort for Port<'_> {
+    fn load(&mut self, now: Cycle, core: CoreId, va: VirtAddr, tag: MemTag) -> MemReply {
+        let tr = self.os.translate(self.core_idx, va);
+        self.hier.load(
+            now,
+            core,
+            tr.pa,
+            tag,
+            tr.extra,
+            self.channels,
+            self.mapper,
+            self.tickets,
+        )
+    }
+
+    fn store(&mut self, now: Cycle, core: CoreId, va: VirtAddr, tag: MemTag) -> StoreReply {
+        let tr = self.os.translate(self.core_idx, va);
+        self.hier.store(
+            now,
+            core,
+            tr.pa,
+            tag,
+            self.channels,
+            self.mapper,
+            self.tickets,
+        )
+    }
+
+    fn ifetch(&mut self, now: Cycle, core: CoreId, va: VirtAddr) -> MemReply {
+        let tr = self.os.translate(self.core_idx, va);
+        self.hier
+            .ifetch(now, core, tr.pa, self.channels, self.mapper, self.tickets)
+    }
+}
+
+impl System {
+    /// Build a machine running `launches` (one per core) under `policy`.
+    pub fn new(
+        cfg: SystemConfig,
+        launches: Vec<AppLaunch>,
+        policy: Box<dyn PagePlacementPolicy>,
+    ) -> System {
+        assert_eq!(
+            launches.len(),
+            cfg.cores,
+            "one application per core required"
+        );
+        let channels: Vec<Channel> = cfg
+            .mem
+            .channel_configs(cfg.capacity_scale)
+            .into_iter()
+            .map(Channel::new)
+            .collect();
+        let mapper = cfg.mem.mapper(cfg.capacity_scale);
+        let frames = FrameSpace::new(cfg.mem.frame_regions(cfg.capacity_scale));
+        let mut os = Os::new(
+            frames,
+            policy,
+            cfg.cores,
+            cfg.tlb_entries,
+            cfg.tlb_miss_penalty,
+            cfg.page_fault_penalty,
+        );
+
+        let mut cores = Vec::with_capacity(cfg.cores);
+        let mut hiers = Vec::with_capacity(cfg.cores);
+        let mut streams = Vec::with_capacity(cfg.cores);
+        let mut app_names = Vec::with_capacity(cfg.cores);
+        let mut page_lists: Vec<Vec<VirtAddr>> = Vec::with_capacity(cfg.cores);
+        for (i, launch) in launches.into_iter().enumerate() {
+            assert_eq!(
+                launch.object_classes.len(),
+                launch.spec.objects.len(),
+                "{}: one class per object",
+                launch.spec.name
+            );
+            // Build the app's virtual address space: typed heap partitions
+            // (Fig. 6) + stack.
+            let mut layout = HeapLayout::new();
+            let sizes = scaled_sizes(&launch.spec, launch.input, cfg.capacity_scale);
+            let bases: Vec<VirtAddr> = launch
+                .spec
+                .objects
+                .iter()
+                .zip(sizes.iter())
+                .enumerate()
+                .map(|(oi, (_, &sz))| layout.alloc_heap(launch.object_classes[oi], sz))
+                .collect();
+            let stack_base = layout.grow_stack(launch.spec.stack_working_set.max(16 * 1024));
+            // Program-load + instantiation order: code and stack first, then
+            // the heap objects in allocation (spec) order — the order the
+            // paper's modified malloc presents them to the OS (§IV-E).
+            let mut pages = Vec::new();
+            let push_range = |base: VirtAddr, bytes: u64, pages: &mut Vec<VirtAddr>| {
+                let first = base.vpn();
+                let last = VirtAddr(base.0 + bytes.max(1) - 1).vpn();
+                for vpn in first..=last {
+                    pages.push(VirtAddr(vpn * moca_common::addr::PAGE_SIZE));
+                }
+            };
+            push_range(
+                VirtAddr(moca_vm::layout::CODE_BASE),
+                launch.spec.code_bytes,
+                &mut pages,
+            );
+            push_range(
+                stack_base,
+                launch.spec.stack_working_set.max(16 * 1024),
+                &mut pages,
+            );
+            for (base, size) in bases.iter().zip(sizes.iter()) {
+                push_range(*base, *size, &mut pages);
+            }
+            page_lists.push(pages);
+            streams.push(AppRun::new(
+                &launch.spec,
+                launch.input,
+                cfg.capacity_scale,
+                &bases,
+                stack_base,
+                i as u64,
+            ));
+            app_names.push(launch.spec.name.to_string());
+            cores.push(Core::new(CoreId(i as u32), cfg.core.clone()));
+            hiers.push(CoreHierarchy::new());
+        }
+
+        // Concurrent startup: apps instantiate their objects in parallel, so
+        // physical allocation interleaves across apps (a deterministic
+        // round-robin of the instantiation race). Interleaving happens in
+        // 32-page chunks so every app's frames still cover all physical
+        // page colors — fine-grained striping would alias app count against
+        // the L2's page-color period and shrink its effective capacity.
+        const CHUNK: usize = 32;
+        let mut idx = vec![0usize; page_lists.len()];
+        loop {
+            let mut progressed = false;
+            for (app, list) in page_lists.iter().enumerate() {
+                for _ in 0..CHUNK {
+                    if idx[app] < list.len() {
+                        os.prefault(app, list[idx[app]]);
+                        idx[app] += 1;
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        let n = cores.len();
+        System {
+            cfg,
+            cores,
+            hiers,
+            streams,
+            app_names,
+            os,
+            channels,
+            mapper,
+            tickets: 0,
+            now: 0,
+            measuring: vec![true; n],
+            migrator: None,
+        }
+    }
+
+    /// Enable dynamic page migration with `cfg`. Call before `run`.
+    pub fn attach_migration(&mut self, cfg: MigrationConfig) {
+        self.migrator = Some(Migrator::new(cfg));
+    }
+
+    /// Migration statistics, if migration is enabled.
+    pub fn migration_stats(&self) -> Option<crate::migration::MigrationStats> {
+        self.migrator.as_ref().map(|m| m.stats())
+    }
+
+    /// OS state (placement inspection in tests).
+    pub fn os(&self) -> &Os {
+        &self.os
+    }
+
+    /// One simulator cycle: DRAM completions, deferred writes, core
+    /// pipelines, event skip. Read latencies are accumulated into `mem`.
+    fn step(&mut self, mem: &mut MemMetrics, comps: &mut Vec<Completion>) {
+        self.now += 1;
+        let now = self.now;
+        let n = self.cores.len();
+
+        // 1. DRAM completions → cache fills → core wakeups.
+        comps.clear();
+        for ch in &mut self.channels {
+            ch.tick(now, comps);
+        }
+        for comp in comps.iter() {
+            let ci = comp.core.0 as usize;
+            if self.measuring[ci] {
+                mem.reads += 1;
+                let lat = comp.queue_cycles + comp.service_cycles;
+                mem.total_read_latency_cycles += lat;
+                mem.per_core_read_latency[ci] += lat;
+            }
+            let woken = self.hiers[ci].on_completion(now, comp, &mut self.channels, &self.mapper);
+            for t in woken {
+                self.cores[ci].complete(t, now);
+            }
+            if let Some(m) = &mut self.migrator {
+                m.record_read(comp.line);
+            }
+        }
+
+        // Page-migration epoch boundary.
+        if self.migrator.as_ref().is_some_and(|m| m.epoch_due(now)) {
+            let mut m = self.migrator.take().expect("checked above");
+            m.run_epoch(
+                now,
+                &mut self.os,
+                &mut self.hiers,
+                &mut self.channels,
+                &self.mapper,
+            );
+            self.migrator = Some(m);
+        }
+
+        // 2. Retry deferred writebacks/store-fills.
+        for h in &mut self.hiers {
+            h.flush_deferred(now, &mut self.channels, &self.mapper);
+        }
+
+        // 3. Core pipelines.
+        for i in 0..n {
+            let mut port = Port {
+                hier: &mut self.hiers[i],
+                channels: &mut self.channels,
+                mapper: &self.mapper,
+                os: &mut self.os,
+                core_idx: i,
+                tickets: &mut self.tickets,
+            };
+            self.cores[i].tick(now, &mut port, &mut self.streams[i]);
+        }
+
+        // 4. Event skip: if every core is stalled on memory, jump to the
+        // next completion/command boundary.
+        if self.cores.iter().all(|c| c.blocked_on_memory(now)) {
+            let mut next: Option<Cycle> = None;
+            let mut consider = |c: Cycle| {
+                next = Some(next.map_or(c, |b: Cycle| b.min(c)));
+            };
+            for ch in &self.channels {
+                if let Some(c) = ch.next_event_after(now) {
+                    consider(c);
+                }
+            }
+            for c in &self.cores {
+                if let Some(e) = c.next_local_event(now) {
+                    consider(e);
+                }
+            }
+            match next {
+                Some(nx) if nx > now + 1 => self.now = nx - 1,
+                Some(_) => {}
+                None => unreachable!("all cores blocked with no pending events"),
+            }
+        }
+    }
+
+    /// Run until every core commits `instr_target` instructions; returns the
+    /// full metrics bundle. Cores that reach the target keep executing (and
+    /// contending for memory) until the slowest core finishes, but their
+    /// statistics are frozen at the target — the usual multi-program
+    /// simulation methodology.
+    pub fn run(&mut self, instr_target: u64) -> RunResult {
+        self.run_warmed(0, instr_target)
+    }
+
+    /// Fast-forward for `warmup` committed instructions per core (warming
+    /// caches, TLBs, and page tables — the paper's SimPoint fast-forward),
+    /// zero all statistics, then measure `instr_target` instructions.
+    pub fn run_warmed(&mut self, warmup: u64, instr_target: u64) -> RunResult {
+        assert!(instr_target > 0);
+        let n = self.cores.len();
+        let mut comps: Vec<Completion> = Vec::new();
+        let mut mem = MemMetrics {
+            per_core_read_latency: vec![0; n],
+            ..MemMetrics::default()
+        };
+        // Generous watchdog: no workload needs more than ~4000 cycles per
+        // instruction even fully serialized on LPDDR2.
+        let watchdog = (warmup + instr_target).saturating_mul(4000).max(10_000_000);
+
+        if warmup > 0 {
+            // Metrics are discarded after warmup; suppress accumulation.
+            self.measuring.iter_mut().for_each(|m| *m = false);
+            while self.cores.iter().any(|c| c.committed() < warmup) {
+                self.step(&mut mem, &mut comps);
+                assert!(self.now < watchdog, "warmup watchdog tripped");
+            }
+            self.measuring.iter_mut().for_each(|m| *m = true);
+            for c in &mut self.cores {
+                c.reset_stats();
+            }
+            for ch in &mut self.channels {
+                ch.reset_stats();
+            }
+            mem = MemMetrics {
+                per_core_read_latency: vec![0; n],
+                ..MemMetrics::default()
+            };
+        }
+        let measure_start = self.now;
+
+        let mut frozen: Vec<Option<(moca_cpu::CoreStats, Cycle)>> = vec![None; n];
+        while frozen.iter().any(Option::is_none) {
+            self.step(&mut mem, &mut comps);
+            assert!(self.now < watchdog, "simulation watchdog tripped");
+            for (i, slot) in frozen.iter_mut().enumerate() {
+                if slot.is_none() && self.cores[i].committed() >= instr_target {
+                    *slot = Some((self.cores[i].stats().clone(), self.now - measure_start));
+                    self.measuring[i] = false;
+                }
+            }
+        }
+
+        let runtime = self.now - measure_start;
+        mem.runtime_cycles = runtime;
+        mem.channels = self
+            .channels
+            .iter()
+            .map(|ch| ChannelReport {
+                kind: ch.config().timing.kind,
+                capacity_bytes: ch.config().capacity_bytes,
+                stats: *ch.stats(),
+                energy: ch.energy(runtime),
+            })
+            .collect();
+
+        let per_core = frozen
+            .into_iter()
+            .zip(self.app_names.iter())
+            .map(|(f, name)| {
+                let (stats, finished_at) = f.expect("all cores frozen");
+                CoreResult {
+                    app: name.clone(),
+                    stats,
+                    finished_at,
+                }
+            })
+            .collect();
+
+        RunResult {
+            policy: self.os.policy_name().to_string(),
+            mem_label: self.cfg.mem.label(),
+            runtime_cycles: runtime,
+            per_core,
+            mem,
+            placement: self.os.take_placement(),
+            core_width: self.cfg.core.width,
+            migration: self.migration_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemSystemConfig;
+    use moca_common::ModuleKind;
+    use moca_vm::policy::FirstTouchPolicy;
+    use moca_workloads::app_by_name;
+
+    fn run_app(name: &str, target: u64) -> RunResult {
+        let cfg = SystemConfig::single_core(MemSystemConfig::Homogeneous(ModuleKind::Ddr3));
+        let launch = AppLaunch::untyped(app_by_name(name), InputSet::reference());
+        let mut sys = System::new(cfg, vec![launch], Box::new(FirstTouchPolicy));
+        sys.run_warmed(target, target)
+    }
+
+    #[test]
+    fn single_core_run_completes_and_reports() {
+        let r = run_app("gcc", 40_000);
+        assert_eq!(r.per_core.len(), 1);
+        assert!(r.per_core[0].stats.committed >= 40_000);
+        assert!(r.runtime_cycles > 0);
+        assert!(r.placement.total_pages() > 0);
+        assert!(r.mem.energy_j() > 0.0);
+        assert_eq!(r.mem.channels.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_repeat() {
+        let a = run_app("mcf", 30_000);
+        let b = run_app("mcf", 30_000);
+        assert_eq!(a.runtime_cycles, b.runtime_cycles);
+        assert_eq!(a.mem.reads, b.mem.reads);
+        assert_eq!(
+            a.mem.total_read_latency_cycles,
+            b.mem.total_read_latency_cycles
+        );
+        assert_eq!(a.per_core[0].stats.committed, b.per_core[0].stats.committed);
+        assert_eq!(
+            a.per_core[0].stats.head_stall_cycles,
+            b.per_core[0].stats.head_stall_cycles
+        );
+    }
+
+    #[test]
+    fn memory_intensive_app_misses_more_than_quiet_app() {
+        let mcf = run_app("mcf", 60_000);
+        let gcc = run_app("gcc", 300_000);
+        assert!(
+            mcf.per_core[0].stats.app_mpki() > 4.0 * gcc.per_core[0].stats.app_mpki(),
+            "mcf MPKI {} vs gcc {}",
+            mcf.per_core[0].stats.app_mpki(),
+            gcc.per_core[0].stats.app_mpki()
+        );
+    }
+
+    #[test]
+    fn chase_app_stalls_more_per_miss_than_stream_app() {
+        let mcf = run_app("mcf", 40_000);
+        let lbm = run_app("lbm", 40_000);
+        let s_mcf = mcf.per_core[0].stats.app_stall_per_miss();
+        let s_lbm = lbm.per_core[0].stats.app_stall_per_miss();
+        assert!(
+            s_mcf > 2.0 * s_lbm,
+            "mcf stall/miss {s_mcf:.1} vs lbm {s_lbm:.1}"
+        );
+    }
+
+    #[test]
+    fn quad_core_run_completes() {
+        let cfg = SystemConfig::quad_core(MemSystemConfig::Homogeneous(ModuleKind::Ddr3));
+        let launches = ["mcf", "lbm", "gcc", "sift"]
+            .iter()
+            .map(|n| AppLaunch::untyped(app_by_name(n), InputSet::reference()))
+            .collect();
+        let mut sys = System::new(cfg, launches, Box::new(FirstTouchPolicy));
+        let r = sys.run(20_000);
+        assert_eq!(r.per_core.len(), 4);
+        for c in &r.per_core {
+            assert!(c.stats.committed >= 20_000, "{} did not finish", c.app);
+        }
+        assert!(r.system_ipc() > 0.0);
+        assert!(r.system_edp() > 0.0);
+    }
+
+    #[test]
+    fn rldram_is_faster_than_lpddr_for_latency_app() {
+        let mk = |kind| {
+            let cfg = SystemConfig::single_core(MemSystemConfig::Homogeneous(kind));
+            let launch = AppLaunch::untyped(app_by_name("mcf"), InputSet::reference());
+            let mut sys = System::new(cfg, vec![launch], Box::new(FirstTouchPolicy));
+            sys.run(30_000)
+        };
+        let rl = mk(ModuleKind::Rldram3);
+        let lp = mk(ModuleKind::Lpddr2);
+        assert!(
+            rl.runtime_cycles < lp.runtime_cycles,
+            "RLDRAM {} vs LPDDR {}",
+            rl.runtime_cycles,
+            lp.runtime_cycles
+        );
+        assert!(rl.mem.avg_read_latency() < lp.mem.avg_read_latency());
+    }
+}

@@ -1,0 +1,302 @@
+//! Physical frame allocation over heterogeneous memory modules.
+//!
+//! The OS "maintains the starting, ending, and the next available page number
+//! of each memory module" (§IV-D). A [`FrameSpace`] is the set of
+//! [`ModuleRegion`]s of one machine configuration; allocation walks a
+//! preference list of module kinds and takes the next free frame of the
+//! first kind with space.
+
+use moca_common::addr::PAGE_SIZE;
+use moca_common::ModuleKind;
+use serde::{Deserialize, Serialize};
+
+/// One memory module's slice of the physical address space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModuleRegion {
+    /// Technology of the module.
+    pub kind: ModuleKind,
+    /// Index of the channel/controller serving this module.
+    pub channel: usize,
+    /// First physical frame number of the region.
+    pub base_pfn: u64,
+    /// Number of frames in the region.
+    pub frames: u64,
+}
+
+impl ModuleRegion {
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.frames * PAGE_SIZE
+    }
+
+    /// Whether `pfn` belongs to this region.
+    pub fn contains_pfn(&self, pfn: u64) -> bool {
+        pfn >= self.base_pfn && pfn < self.base_pfn + self.frames
+    }
+}
+
+/// All physical memory of a machine, partitioned into module regions, with
+/// per-region free-frame tracking.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrameSpace {
+    regions: Vec<ModuleRegion>,
+    next_free: Vec<u64>,
+    freed: Vec<Vec<u64>>,
+    /// Striping state per module kind (indexed like [`ModuleKind::ALL`]):
+    /// current region and frames left in the chunk.
+    stripe_region: [usize; 4],
+    stripe_left: [u64; 4],
+}
+
+/// Frames allocated from one region before striping rotates to the next
+/// region of the same kind. Must be a multiple of the L2 page-color period
+/// (8 pages for a 512-set, 64 B-line cache): per-page alternation between
+/// two regions whose bases share colors would alias virtually-adjacent
+/// pages onto the same cache colors and halve the effective cache.
+pub const STRIPE_CHUNK: u64 = 16;
+
+fn kind_index(kind: ModuleKind) -> usize {
+    ModuleKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("kind in ALL")
+}
+
+impl FrameSpace {
+    /// Build a frame space from contiguous module regions. Regions must be
+    /// laid out back-to-back starting at frame 0 (the sim derives channel
+    /// address ranges from the same layout).
+    pub fn new(regions: Vec<ModuleRegion>) -> FrameSpace {
+        assert!(!regions.is_empty());
+        let mut expected = 0;
+        for r in &regions {
+            assert_eq!(r.base_pfn, expected, "regions must be contiguous");
+            assert!(r.frames > 0, "empty region");
+            expected += r.frames;
+        }
+        let n = regions.len();
+        FrameSpace {
+            regions,
+            next_free: vec![0; n],
+            freed: vec![Vec::new(); n],
+            stripe_region: [usize::MAX; 4],
+            stripe_left: [0; 4],
+        }
+    }
+
+    /// The module regions.
+    pub fn regions(&self) -> &[ModuleRegion] {
+        &self.regions
+    }
+
+    /// Total frames across all regions.
+    pub fn total_frames(&self) -> u64 {
+        self.regions.iter().map(|r| r.frames).sum()
+    }
+
+    /// Free frames remaining in region `idx`.
+    pub fn free_in_region(&self, idx: usize) -> u64 {
+        self.regions[idx].frames - self.next_free[idx] + self.freed[idx].len() as u64
+    }
+
+    /// Free frames remaining across all regions of `kind`.
+    pub fn free_of_kind(&self, kind: ModuleKind) -> u64 {
+        (0..self.regions.len())
+            .filter(|&i| self.regions[i].kind == kind)
+            .map(|i| self.free_in_region(i))
+            .sum()
+    }
+
+    /// Allocate one frame from region `idx`, if it has space.
+    pub fn alloc_in_region(&mut self, idx: usize) -> Option<u64> {
+        if let Some(pfn) = self.freed[idx].pop() {
+            return Some(pfn);
+        }
+        if self.next_free[idx] < self.regions[idx].frames {
+            let pfn = self.regions[idx].base_pfn + self.next_free[idx];
+            self.next_free[idx] += 1;
+            Some(pfn)
+        } else {
+            None
+        }
+    }
+
+    /// Allocate one frame following a module-kind preference list: the first
+    /// kind with a free frame wins. Kinds not present in the machine are
+    /// skipped. Returns the frame and the kind it came from.
+    ///
+    /// When a kind has several regions (the paper's two LPDDR2 channels),
+    /// allocations stripe across them in [`STRIPE_CHUNK`]-frame chunks —
+    /// spreading one class's pages over both controllers for bandwidth
+    /// while keeping each span of virtually-adjacent pages covering all
+    /// physical page colors (see [`STRIPE_CHUNK`]).
+    pub fn alloc_by_preference(&mut self, prefs: &[ModuleKind]) -> Option<(u64, ModuleKind)> {
+        for &kind in prefs {
+            let ki = kind_index(kind);
+            // Continue the current chunk if it has room.
+            let cur = self.stripe_region[ki];
+            if self.stripe_left[ki] > 0
+                && cur < self.regions.len()
+                && self.regions[cur].kind == kind
+                && self.free_in_region(cur) > 0
+            {
+                self.stripe_left[ki] -= 1;
+                let pfn = self.alloc_in_region(cur).expect("region had free frames");
+                return Some((pfn, kind));
+            }
+            // Start a new chunk on the region of this kind with most space.
+            let best = (0..self.regions.len())
+                .filter(|&i| self.regions[i].kind == kind && self.free_in_region(i) > 0)
+                .max_by_key(|&i| self.free_in_region(i));
+            if let Some(i) = best {
+                self.stripe_region[ki] = i;
+                self.stripe_left[ki] = STRIPE_CHUNK - 1;
+                let pfn = self.alloc_in_region(i).expect("region had free frames");
+                return Some((pfn, kind));
+            }
+        }
+        None
+    }
+
+    /// Return a frame to its region's free list.
+    pub fn free(&mut self, pfn: u64) {
+        let idx = self.region_index_of(pfn).expect("pfn belongs to a region");
+        debug_assert!(
+            pfn < self.regions[idx].base_pfn + self.next_free[idx],
+            "freeing a never-allocated frame"
+        );
+        self.freed[idx].push(pfn);
+    }
+
+    /// Region index owning `pfn`.
+    pub fn region_index_of(&self, pfn: u64) -> Option<usize> {
+        self.regions.iter().position(|r| r.contains_pfn(pfn))
+    }
+
+    /// Region owning `pfn`.
+    pub fn region_of(&self, pfn: u64) -> Option<&ModuleRegion> {
+        self.region_index_of(pfn).map(|i| &self.regions[i])
+    }
+
+    /// Module kind owning `pfn`.
+    pub fn kind_of(&self, pfn: u64) -> Option<ModuleKind> {
+        self.region_of(pfn).map(|r| r.kind)
+    }
+}
+
+/// Build contiguous regions from `(kind, channel, bytes)` triples.
+pub fn regions_from_capacities(caps: &[(ModuleKind, usize, u64)]) -> Vec<ModuleRegion> {
+    let mut base = 0;
+    caps.iter()
+        .map(|&(kind, channel, bytes)| {
+            assert_eq!(bytes % PAGE_SIZE, 0, "capacity must be page-aligned");
+            let r = ModuleRegion {
+                kind,
+                channel,
+                base_pfn: base,
+                frames: bytes / PAGE_SIZE,
+            };
+            base += r.frames;
+            r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moca_common::MB;
+
+    fn space() -> FrameSpace {
+        FrameSpace::new(regions_from_capacities(&[
+            (ModuleKind::Rldram3, 0, MB),
+            (ModuleKind::Hbm, 1, 2 * MB),
+            (ModuleKind::Lpddr2, 2, MB),
+            (ModuleKind::Lpddr2, 3, MB),
+        ]))
+    }
+
+    #[test]
+    fn regions_are_contiguous_and_sized() {
+        let s = space();
+        assert_eq!(s.total_frames(), 5 * MB / PAGE_SIZE);
+        assert_eq!(s.regions()[1].base_pfn, MB / PAGE_SIZE);
+    }
+
+    #[test]
+    fn preference_order_respected() {
+        let mut s = space();
+        let (pfn, kind) = s
+            .alloc_by_preference(&[ModuleKind::Rldram3, ModuleKind::Hbm])
+            .unwrap();
+        assert_eq!(kind, ModuleKind::Rldram3);
+        assert!(s.regions()[0].contains_pfn(pfn));
+    }
+
+    #[test]
+    fn fallback_when_preferred_full() {
+        let mut s = space();
+        let rl_frames = MB / PAGE_SIZE;
+        for _ in 0..rl_frames {
+            let (_, k) = s
+                .alloc_by_preference(&[ModuleKind::Rldram3, ModuleKind::Hbm])
+                .unwrap();
+            assert_eq!(k, ModuleKind::Rldram3);
+        }
+        assert_eq!(s.free_of_kind(ModuleKind::Rldram3), 0);
+        let (_, k) = s
+            .alloc_by_preference(&[ModuleKind::Rldram3, ModuleKind::Hbm])
+            .unwrap();
+        assert_eq!(k, ModuleKind::Hbm);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut s = FrameSpace::new(regions_from_capacities(&[(ModuleKind::Ddr3, 0, PAGE_SIZE)]));
+        assert!(s.alloc_by_preference(&[ModuleKind::Ddr3]).is_some());
+        assert!(s.alloc_by_preference(&[ModuleKind::Ddr3]).is_none());
+        assert!(s.alloc_by_preference(&[ModuleKind::Hbm]).is_none());
+    }
+
+    #[test]
+    fn lpddr_channels_stripe_in_chunks() {
+        let mut s = space();
+        let mut counts = [0u32; 2];
+        let mut first_chunk_region = None;
+        for n in 0..(2 * STRIPE_CHUNK) {
+            let (pfn, k) = s.alloc_by_preference(&[ModuleKind::Lpddr2]).unwrap();
+            assert_eq!(k, ModuleKind::Lpddr2);
+            let idx = s.region_index_of(pfn).unwrap();
+            counts[idx - 2] += 1;
+            if n < STRIPE_CHUNK {
+                // The whole first chunk stays on one region (color safety).
+                let f = *first_chunk_region.get_or_insert(idx);
+                assert_eq!(idx, f, "chunk split across regions at frame {n}");
+            }
+        }
+        assert_eq!(
+            counts,
+            [STRIPE_CHUNK as u32, STRIPE_CHUNK as u32],
+            "chunks should alternate across the two LP channels"
+        );
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut s = FrameSpace::new(regions_from_capacities(&[(ModuleKind::Ddr3, 0, PAGE_SIZE)]));
+        let (pfn, _) = s.alloc_by_preference(&[ModuleKind::Ddr3]).unwrap();
+        s.free(pfn);
+        assert_eq!(s.free_of_kind(ModuleKind::Ddr3), 1);
+        let (pfn2, _) = s.alloc_by_preference(&[ModuleKind::Ddr3]).unwrap();
+        assert_eq!(pfn, pfn2);
+    }
+
+    #[test]
+    fn kind_of_resolves_regions() {
+        let s = space();
+        assert_eq!(s.kind_of(0), Some(ModuleKind::Rldram3));
+        let hbm_pfn = s.regions()[1].base_pfn;
+        assert_eq!(s.kind_of(hbm_pfn), Some(ModuleKind::Hbm));
+        assert_eq!(s.kind_of(u64::MAX), None);
+    }
+}

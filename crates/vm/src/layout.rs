@@ -1,0 +1,214 @@
+//! Per-process virtual address-space layout with typed heap partitions
+//! (Fig. 6 of the paper).
+//!
+//! ```text
+//!   0x0040_0000  code (text)
+//!   0x1000_0000  data / bss
+//!   0x2000_0000  Pow-MO heap   (non-memory-intensive objects)
+//!   0x4000_0000  BW-MO heap    (bandwidth-sensitive objects)
+//!   0x6000_0000  Lat-MO heap   (latency-sensitive objects)
+//!   0x7000_0000  stack (grows down from 0x7FFF_F000)
+//! ```
+//!
+//! Because each heap class owns a disjoint virtual range, the OS can derive
+//! the desired module type from the faulting virtual page number — exactly
+//! the mechanism of §III-C ("based on the memory object's virtual page
+//! number, the OS identifies the type of the memory object").
+
+use moca_common::addr::{VirtAddr, PAGE_SIZE};
+use moca_common::{ObjectClass, Segment};
+use serde::{Deserialize, Serialize};
+
+/// Base of the code segment.
+pub const CODE_BASE: u64 = 0x0040_0000;
+/// Base of the data/bss segment.
+pub const DATA_BASE: u64 = 0x1000_0000;
+/// Base of the power (non-intensive) heap partition.
+pub const POW_HEAP_BASE: u64 = 0x2000_0000;
+/// Base of the bandwidth heap partition.
+pub const BW_HEAP_BASE: u64 = 0x4000_0000;
+/// Base of the latency heap partition.
+pub const LAT_HEAP_BASE: u64 = 0x6000_0000;
+/// Lowest address of the stack region.
+pub const STACK_BASE: u64 = 0x7000_0000;
+/// Stack top (stack grows down from here).
+pub const STACK_TOP: u64 = 0x7FFF_F000;
+
+/// Base virtual address of a heap partition.
+pub fn partition_base(class: ObjectClass) -> u64 {
+    match class {
+        ObjectClass::LatencySensitive => LAT_HEAP_BASE,
+        ObjectClass::BandwidthSensitive => BW_HEAP_BASE,
+        ObjectClass::NonIntensive => POW_HEAP_BASE,
+    }
+}
+
+/// Which segment a virtual address falls in.
+pub fn segment_of_va(va: VirtAddr) -> Segment {
+    match va.0 {
+        a if a >= STACK_BASE => Segment::Stack,
+        a if a >= POW_HEAP_BASE => Segment::Heap,
+        a if a >= DATA_BASE => Segment::Data,
+        _ => Segment::Code,
+    }
+}
+
+/// Heap class of a virtual address, if it is a heap address.
+pub fn heap_class_of_va(va: VirtAddr) -> Option<ObjectClass> {
+    match va.0 {
+        a if (LAT_HEAP_BASE..STACK_BASE).contains(&a) => Some(ObjectClass::LatencySensitive),
+        a if (BW_HEAP_BASE..LAT_HEAP_BASE).contains(&a) => Some(ObjectClass::BandwidthSensitive),
+        a if (POW_HEAP_BASE..BW_HEAP_BASE).contains(&a) => Some(ObjectClass::NonIntensive),
+        _ => None,
+    }
+}
+
+/// What a faulting page is used for — the information the placement policy
+/// receives from the OS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageIntent {
+    /// A heap page from the partition of the given class.
+    Heap(ObjectClass),
+    /// A stack page.
+    Stack,
+    /// A code page.
+    Code,
+    /// A global-data page.
+    Data,
+}
+
+impl PageIntent {
+    /// Derive the intent of a virtual address from the layout.
+    pub fn of_va(va: VirtAddr) -> PageIntent {
+        match segment_of_va(va) {
+            Segment::Stack => PageIntent::Stack,
+            Segment::Code => PageIntent::Code,
+            Segment::Data => PageIntent::Data,
+            Segment::Heap => PageIntent::Heap(
+                heap_class_of_va(va).expect("heap segment implies a heap partition"),
+            ),
+        }
+    }
+}
+
+/// Bump allocator over the typed virtual heap partitions plus the stack and
+/// data segments — MOCA's modified `malloc` (§IV-D) at the virtual level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeapLayout {
+    cursors: [u64; 3],
+    data_cursor: u64,
+    stack_cursor: u64,
+}
+
+impl Default for HeapLayout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeapLayout {
+    /// Fresh layout with empty partitions.
+    pub fn new() -> HeapLayout {
+        HeapLayout {
+            cursors: [LAT_HEAP_BASE, BW_HEAP_BASE, POW_HEAP_BASE],
+            data_cursor: DATA_BASE,
+            stack_cursor: STACK_TOP,
+        }
+    }
+
+    fn cursor_mut(&mut self, class: ObjectClass) -> &mut u64 {
+        match class {
+            ObjectClass::LatencySensitive => &mut self.cursors[0],
+            ObjectClass::BandwidthSensitive => &mut self.cursors[1],
+            ObjectClass::NonIntensive => &mut self.cursors[2],
+        }
+    }
+
+    /// Allocate `size` bytes in the partition for `class` (64 B aligned, so
+    /// objects never share cache lines — matching how the profiler
+    /// attributes misses to objects). Panics if a partition overflows its
+    /// 512 MB virtual range, which no configured workload approaches.
+    pub fn alloc_heap(&mut self, class: ObjectClass, size: u64) -> VirtAddr {
+        let cur = self.cursor_mut(class);
+        let va = VirtAddr(*cur);
+        *cur += size.div_ceil(64) * 64;
+        let limit = partition_base(class) + 0x2000_0000;
+        assert!(*cur <= limit, "heap partition overflow for {class}");
+        va
+    }
+
+    /// Allocate `size` bytes of global data.
+    pub fn alloc_data(&mut self, size: u64) -> VirtAddr {
+        let va = VirtAddr(self.data_cursor);
+        self.data_cursor += size.div_ceil(64) * 64;
+        assert!(self.data_cursor <= POW_HEAP_BASE, "data segment overflow");
+        va
+    }
+
+    /// Reserve `size` bytes of stack (growing down). Returns the lowest
+    /// address of the reservation.
+    pub fn grow_stack(&mut self, size: u64) -> VirtAddr {
+        let size = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        self.stack_cursor -= size;
+        assert!(self.stack_cursor >= STACK_BASE, "stack overflow");
+        VirtAddr(self.stack_cursor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_classified_by_range() {
+        assert_eq!(segment_of_va(VirtAddr(CODE_BASE)), Segment::Code);
+        assert_eq!(segment_of_va(VirtAddr(DATA_BASE)), Segment::Data);
+        assert_eq!(segment_of_va(VirtAddr(POW_HEAP_BASE)), Segment::Heap);
+        assert_eq!(segment_of_va(VirtAddr(LAT_HEAP_BASE + 4096)), Segment::Heap);
+        assert_eq!(segment_of_va(VirtAddr(STACK_TOP - 8)), Segment::Stack);
+    }
+
+    #[test]
+    fn heap_class_recoverable_from_va() {
+        let mut h = HeapLayout::new();
+        for class in ObjectClass::ALL {
+            let va = h.alloc_heap(class, 1000);
+            assert_eq!(heap_class_of_va(va), Some(class));
+            assert_eq!(PageIntent::of_va(va), PageIntent::Heap(class));
+        }
+    }
+
+    #[test]
+    fn heap_allocations_do_not_overlap() {
+        let mut h = HeapLayout::new();
+        let a = h.alloc_heap(ObjectClass::NonIntensive, 100);
+        let b = h.alloc_heap(ObjectClass::NonIntensive, 100);
+        assert!(b.0 >= a.0 + 100);
+        assert_eq!(a.0 % 64, 0);
+        assert_eq!(b.0 % 64, 0);
+    }
+
+    #[test]
+    fn stack_grows_down_page_aligned() {
+        let mut h = HeapLayout::new();
+        let a = h.grow_stack(100);
+        let b = h.grow_stack(100);
+        assert_eq!(a.0 % PAGE_SIZE, 0);
+        assert!(b.0 < a.0);
+        assert_eq!(segment_of_va(a), Segment::Stack);
+    }
+
+    #[test]
+    fn data_alloc_stays_in_data_segment() {
+        let mut h = HeapLayout::new();
+        let d = h.alloc_data(4096);
+        assert_eq!(segment_of_va(d), Segment::Data);
+        assert_eq!(PageIntent::of_va(d), PageIntent::Data);
+    }
+
+    #[test]
+    fn non_heap_has_no_class() {
+        assert_eq!(heap_class_of_va(VirtAddr(CODE_BASE)), None);
+        assert_eq!(heap_class_of_va(VirtAddr(STACK_TOP - 64)), None);
+    }
+}

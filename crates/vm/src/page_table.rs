@@ -1,0 +1,91 @@
+//! Per-process page table.
+
+use moca_common::addr::{PhysAddr, VirtAddr};
+use std::collections::HashMap;
+
+/// A flat virtual→physical page map (the simulator's stand-in for the
+/// multi-level x86 table; the page-walk *cost* is modelled by the TLB-miss
+/// penalty in the core).
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    map: HashMap<u64, u64>,
+}
+
+impl PageTable {
+    /// Empty table.
+    pub fn new() -> PageTable {
+        PageTable::default()
+    }
+
+    /// Translate a virtual page number. `None` ⇒ page fault.
+    #[inline]
+    pub fn translate_vpn(&self, vpn: u64) -> Option<u64> {
+        self.map.get(&vpn).copied()
+    }
+
+    /// Translate a full virtual address, preserving the page offset.
+    pub fn translate(&self, va: VirtAddr) -> Option<PhysAddr> {
+        self.translate_vpn(va.vpn())
+            .map(|pfn| PhysAddr::from_parts(pfn, va.page_offset()))
+    }
+
+    /// Install a mapping. Panics on double-mapping a vpn (a bug in the
+    /// fault handler).
+    pub fn map(&mut self, vpn: u64, pfn: u64) {
+        let prev = self.map.insert(vpn, pfn);
+        assert!(prev.is_none(), "vpn {vpn:#x} double-mapped");
+    }
+
+    /// Remove a mapping, returning the frame it pointed to.
+    pub fn unmap(&mut self, vpn: u64) -> Option<u64> {
+        self.map.remove(&vpn)
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterate over `(vpn, pfn)` pairs (used by placement statistics).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(&v, &p)| (v, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moca_common::addr::PAGE_SIZE;
+
+    #[test]
+    fn translate_preserves_offset() {
+        let mut pt = PageTable::new();
+        pt.map(0x60000, 0x42);
+        let va = VirtAddr(0x60000 * PAGE_SIZE + 0x123);
+        assert_eq!(pt.translate(va), Some(PhysAddr(0x42 * PAGE_SIZE + 0x123)));
+    }
+
+    #[test]
+    fn unmapped_is_fault() {
+        let pt = PageTable::new();
+        assert_eq!(pt.translate(VirtAddr(0x1000)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-mapped")]
+    fn double_map_panics() {
+        let mut pt = PageTable::new();
+        pt.map(1, 2);
+        pt.map(1, 3);
+    }
+
+    #[test]
+    fn unmap_then_remap() {
+        let mut pt = PageTable::new();
+        pt.map(1, 2);
+        assert_eq!(pt.unmap(1), Some(2));
+        pt.map(1, 3);
+        assert_eq!(pt.translate_vpn(1), Some(3));
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Translation lookaside buffer.
+
+use serde::{Deserialize, Serialize};
+
+/// TLB statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed (page walk required).
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Miss ratio in [0, 1].
+    pub fn miss_rate(&self) -> f64 {
+        moca_common::stats::safe_div(self.misses as f64, (self.hits + self.misses) as f64)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    vpn: u64,
+    pfn: u64,
+    used: u64,
+}
+
+/// Fully-associative LRU TLB. Capacities are small (64 entries), so lookups
+/// are a linear scan over a dense array — faster in practice than a hash map
+/// at this size and trivially correct.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<Entry>,
+    capacity: usize,
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// TLB with `capacity` entries.
+    pub fn new(capacity: usize) -> Tlb {
+        assert!(capacity > 0);
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            clock: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Look up a virtual page number, updating LRU and statistics.
+    pub fn lookup(&mut self, vpn: u64) -> Option<u64> {
+        self.clock += 1;
+        for e in &mut self.entries {
+            if e.vpn == vpn {
+                e.used = self.clock;
+                self.stats.hits += 1;
+                return Some(e.pfn);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Insert a translation (after a page walk), evicting the LRU entry if
+    /// full. Replaces any stale entry for the same vpn.
+    pub fn insert(&mut self, vpn: u64, pfn: u64) {
+        self.clock += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.vpn == vpn) {
+            e.pfn = pfn;
+            e.used = self.clock;
+            return;
+        }
+        let entry = Entry {
+            vpn,
+            pfn,
+            used: self.clock,
+        };
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            let lru = self
+                .entries
+                .iter_mut()
+                .min_by_key(|e| e.used)
+                .expect("non-empty");
+            *lru = entry;
+        }
+    }
+
+    /// Drop all entries (context switch).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut t = Tlb::new(4);
+        assert_eq!(t.lookup(1), None);
+        t.insert(1, 100);
+        assert_eq!(t.lookup(1), Some(100));
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        t.lookup(1); // 2 becomes LRU
+        t.insert(3, 30);
+        assert_eq!(t.lookup(2), None);
+        assert_eq!(t.lookup(1), Some(10));
+        assert_eq!(t.lookup(3), Some(30));
+    }
+
+    #[test]
+    fn reinsert_updates_mapping() {
+        let mut t = Tlb::new(2);
+        t.insert(1, 10);
+        t.insert(1, 11);
+        assert_eq!(t.lookup(1), Some(11));
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = Tlb::new(2);
+        t.insert(1, 10);
+        t.flush();
+        assert_eq!(t.lookup(1), None);
+    }
+
+    #[test]
+    fn miss_rate_computed() {
+        let mut t = Tlb::new(2);
+        t.lookup(5);
+        t.insert(5, 1);
+        t.lookup(5);
+        assert!((t.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! Multi-program workload sets (§V-D).
+//!
+//! Sets are named by composition: `2L1B1N` = two latency-sensitive, one
+//! bandwidth-sensitive, one non-memory-intensive application. The paper
+//! evaluates ten four-app sets on the multicore system (Figs. 10–13) and a
+//! five-set subset across heterogeneous configurations (Figs. 14–15).
+
+use crate::suite::app_by_name;
+use moca_common::ObjectClass;
+use serde::{Deserialize, Serialize};
+
+/// A named multi-program workload (one application per core).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSet {
+    /// Composition name (e.g. `3L1B`).
+    pub name: &'static str,
+    /// Benchmark names, one per core. Duplicates are allowed (two instances
+    /// run with different RNG streams).
+    pub apps: [&'static str; 4],
+}
+
+impl WorkloadSet {
+    /// Verify the name matches the actual class composition of the apps.
+    pub fn composition(&self) -> (usize, usize, usize) {
+        let mut l = 0;
+        let mut b = 0;
+        let mut n = 0;
+        for a in self.apps {
+            match app_by_name(a).expected_class {
+                ObjectClass::LatencySensitive => l += 1,
+                ObjectClass::BandwidthSensitive => b += 1,
+                ObjectClass::NonIntensive => n += 1,
+            }
+        }
+        (l, b, n)
+    }
+}
+
+/// The ten multicore workload sets of Figs. 10–13: five memory-intensive
+/// mixes and five including non-memory-intensive applications ("the last
+/// five workload sets also consist of non-memory-intensive applications",
+/// §VI-B).
+pub fn multiprogram_sets() -> Vec<WorkloadSet> {
+    vec![
+        WorkloadSet {
+            name: "4L",
+            apps: ["mcf", "milc", "libquantum", "disparity"],
+        },
+        WorkloadSet {
+            name: "3L1B",
+            apps: ["mcf", "milc", "disparity", "lbm"],
+        },
+        WorkloadSet {
+            name: "2L2B",
+            apps: ["mcf", "libquantum", "lbm", "mser"],
+        },
+        WorkloadSet {
+            name: "1L3B",
+            apps: ["milc", "lbm", "mser", "tracking"],
+        },
+        WorkloadSet {
+            name: "4B",
+            apps: ["lbm", "mser", "tracking", "lbm"],
+        },
+        WorkloadSet {
+            name: "3L1N",
+            apps: ["mcf", "milc", "libquantum", "gcc"],
+        },
+        WorkloadSet {
+            name: "2L1B1N",
+            apps: ["mcf", "milc", "lbm", "sift"],
+        },
+        WorkloadSet {
+            name: "1L1B2N",
+            apps: ["libquantum", "mser", "gcc", "stitch"],
+        },
+        WorkloadSet {
+            name: "2B2N",
+            apps: ["lbm", "tracking", "gcc", "sift"],
+        },
+        WorkloadSet {
+            name: "4N",
+            apps: ["gcc", "sift", "stitch", "gcc"],
+        },
+    ]
+}
+
+/// The five sets swept across heterogeneous configurations in Figs. 14–15.
+pub fn config_sweep_sets() -> Vec<WorkloadSet> {
+    let wanted = ["3L1B", "1L3B", "3L1N", "2L1B1N", "2B2N"];
+    multiprogram_sets()
+        .into_iter()
+        .filter(|s| wanted.contains(&s.name))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_name(name: &str) -> (usize, usize, usize) {
+        let mut counts = (0usize, 0usize, 0usize);
+        let mut digits = String::new();
+        for c in name.chars() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+            } else {
+                let n: usize = digits.parse().unwrap();
+                digits.clear();
+                match c {
+                    'L' => counts.0 += n,
+                    'B' => counts.1 += n,
+                    'N' => counts.2 += n,
+                    _ => panic!("bad class letter {c}"),
+                }
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn set_names_match_composition() {
+        for set in multiprogram_sets() {
+            assert_eq!(
+                set.composition(),
+                parse_name(set.name),
+                "set {} mislabeled",
+                set.name
+            );
+            assert_eq!(set.apps.len(), 4);
+        }
+    }
+
+    #[test]
+    fn ten_sets_five_with_n() {
+        let sets = multiprogram_sets();
+        assert_eq!(sets.len(), 10);
+        let with_n = sets.iter().filter(|s| s.composition().2 > 0).count();
+        assert_eq!(with_n, 5);
+    }
+
+    #[test]
+    fn sweep_sets_match_paper_figure_14() {
+        let names: Vec<_> = config_sweep_sets().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["3L1B", "1L3B", "3L1N", "2L1B1N", "2B2N"]);
+    }
+}

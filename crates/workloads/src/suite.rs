@@ -1,0 +1,813 @@
+//! The ten-benchmark suite (Table III).
+//!
+//! | class | benchmarks |
+//! |---|---|
+//! | L (latency-sensitive)   | mcf, milc, libquantum, disparity |
+//! | B (bandwidth-sensitive) | mser, lbm, tracking |
+//! | N (non-memory-intensive)| gcc, sift, stitch |
+//!
+//! Per-object behaviours follow the structure of the real benchmarks (mcf
+//! chases arc/node graphs, lbm streams two lattice grids, gcc hashes small
+//! tables that mostly cache, disparity has one high- and one lower-MPKI
+//! major object per §VI-A, milc/mser carry a few intensive objects plus many
+//! quiet ones per §II-B) with magnitudes calibrated against Fig. 1/Fig. 2.
+
+use crate::spec::{AppSpec, ObjectSpec, Pattern};
+use moca_common::{ObjectClass, KB, MB};
+
+/// Convenience constructor for an object spec. Synthetic code addresses are
+/// derived from `app_base` so that alloc sites are unique per app, except
+/// where a spec deliberately reuses a site with different callers to
+/// exercise the naming convention (Fig. 3).
+#[allow(clippy::too_many_arguments)]
+fn obj(
+    label: &'static str,
+    alloc_site: u64,
+    call_stack: &[u64],
+    nominal_bytes: u64,
+    weight: f64,
+    pattern: Pattern,
+    write_fraction: f64,
+    burst: u32,
+) -> ObjectSpec {
+    ObjectSpec {
+        label,
+        alloc_site,
+        call_stack: call_stack.to_vec(),
+        nominal_bytes,
+        weight,
+        pattern,
+        write_fraction,
+        burst,
+        chain_group: None,
+    }
+}
+
+/// Same as [`obj`] but placing the object in dependence-chain `group`.
+#[allow(clippy::too_many_arguments)]
+fn obj_chained(
+    label: &'static str,
+    alloc_site: u64,
+    call_stack: &[u64],
+    nominal_bytes: u64,
+    weight: f64,
+    pattern: Pattern,
+    write_fraction: f64,
+    burst: u32,
+    group: u8,
+) -> ObjectSpec {
+    ObjectSpec {
+        chain_group: Some(group),
+        ..obj(
+            label,
+            alloc_site,
+            call_stack,
+            nominal_bytes,
+            weight,
+            pattern,
+            write_fraction,
+            burst,
+        )
+    }
+}
+
+fn mcf() -> AppSpec {
+    let b = 0x0040_1000;
+    AppSpec {
+        name: "mcf",
+        expected_class: ObjectClass::LatencySensitive,
+        mem_fraction: 0.34,
+        branch_fraction: 0.16,
+        mispredict_rate: 0.04,
+        stack_fraction: 0.10,
+        stack_working_set: 16 * KB,
+        code_bytes: 24 * KB,
+        branch_jump_prob: 0.20,
+        objects: vec![
+            // The network-simplex arc array: the canonical pointer chase.
+            obj_chained(
+                "arcs",
+                b + 0x10,
+                &[b + 0x900],
+                280 * MB,
+                0.40,
+                Pattern::Chase,
+                0.10,
+                4,
+                0,
+            ),
+            // Node array, chased *from* the arcs: one dependence chain
+            // spans both objects, as in the real network-simplex walk.
+            obj_chained(
+                "nodes",
+                b + 0x20,
+                &[b + 0x900],
+                130 * MB,
+                0.22,
+                Pattern::Chase,
+                0.10,
+                4,
+                0,
+            ),
+            // Candidate-list basket, rebuilt each iteration (cache-resident
+            // at simulation scale: a low-MPKI object inside an L app).
+            obj(
+                "basket",
+                b + 0x30,
+                &[b + 0x910],
+                8 * MB,
+                0.10,
+                Pattern::Random,
+                0.25,
+                2,
+            ),
+            // Small permutation table, cache-resident.
+            obj(
+                "perm",
+                b + 0x40,
+                &[b + 0x910],
+                2 * MB,
+                0.28,
+                Pattern::hot(160 * KB),
+                0.30,
+                2,
+            ),
+        ],
+        phases: None,
+    }
+}
+
+fn milc() -> AppSpec {
+    let b = 0x0042_1000;
+    AppSpec {
+        name: "milc",
+        expected_class: ObjectClass::LatencySensitive,
+        mem_fraction: 0.34,
+        branch_fraction: 0.10,
+        mispredict_rate: 0.01,
+        stack_fraction: 0.08,
+        stack_working_set: 16 * KB,
+        code_bytes: 48 * KB,
+        branch_jump_prob: 0.10,
+        objects: vec![
+            // Lattice traversed through site-neighbour indirection.
+            obj(
+                "lattice",
+                b + 0x10,
+                &[b + 0xA00],
+                290 * MB,
+                0.32,
+                Pattern::Chase,
+                0.15,
+                4,
+            ),
+            // Gauge links updated in dependence order.
+            obj(
+                "gauge",
+                b + 0x20,
+                &[b + 0xA00],
+                150 * MB,
+                0.22,
+                Pattern::StreamDep { stride: 5 },
+                0.20,
+                6,
+            ),
+            // Momentum field, streamed.
+            obj(
+                "mom",
+                b + 0x30,
+                &[b + 0xA10],
+                48 * MB,
+                0.12,
+                Pattern::Stream { stride: 5 },
+                0.30,
+                8,
+            ),
+            // Small scratch buffers, cache-resident (§II-B: "only a few
+            // memory objects with high L2 MPKI").
+            obj(
+                "tmp_mat",
+                b + 0x40,
+                &[b + 0xA20],
+                4 * MB,
+                0.20,
+                Pattern::hot(192 * KB),
+                0.40,
+                2,
+            ),
+            obj(
+                "tmp_vec",
+                b + 0x50,
+                &[b + 0xA20],
+                2 * MB,
+                0.14,
+                Pattern::hot(96 * KB),
+                0.40,
+                2,
+            ),
+        ],
+        phases: None,
+    }
+}
+
+fn libquantum() -> AppSpec {
+    let b = 0x0044_1000;
+    AppSpec {
+        name: "libquantum",
+        expected_class: ObjectClass::LatencySensitive,
+        mem_fraction: 0.34,
+        branch_fraction: 0.14,
+        mispredict_rate: 0.005,
+        stack_fraction: 0.06,
+        stack_working_set: 8 * KB,
+        code_bytes: 16 * KB,
+        branch_jump_prob: 0.05,
+        objects: vec![
+            // The quantum register: each gate sweep reads and rewrites the
+            // amplitude vector with loop-carried dependences.
+            obj(
+                "reg",
+                b + 0x10,
+                &[b + 0xB00],
+                380 * MB,
+                0.80,
+                Pattern::StreamDep { stride: 7 },
+                0.35,
+                8,
+            ),
+            // Gate workspace, small and hot.
+            obj(
+                "workspace",
+                b + 0x20,
+                &[b + 0xB10],
+                MB,
+                0.20,
+                Pattern::hot(96 * KB),
+                0.30,
+                2,
+            ),
+        ],
+        phases: None,
+    }
+}
+
+fn disparity() -> AppSpec {
+    let b = 0x0046_1000;
+    // `alloc_image` wrapper: same malloc site, different callers (exercises
+    // the Fig. 3 naming convention).
+    let alloc_image = b + 0x10;
+    AppSpec {
+        name: "disparity",
+        expected_class: ObjectClass::LatencySensitive,
+        mem_fraction: 0.40,
+        branch_fraction: 0.12,
+        mispredict_rate: 0.02,
+        stack_fraction: 0.10,
+        stack_working_set: 12 * KB,
+        code_bytes: 32 * KB,
+        branch_jump_prob: 0.10,
+        objects: vec![
+            // §VI-A: "disparity has two major memory objects, one with a
+            // high L2MPKI and the other with a relatively low L2MPKI";
+            // the lower-MPKI one (SAD) is instantiated first, which is why
+            // Heter-App lets it fill the RLDRAM module.
+            obj(
+                "SAD",
+                alloc_image,
+                &[b + 0xC10, b + 0xE00],
+                160 * MB,
+                0.26,
+                Pattern::StreamDep { stride: 7 },
+                0.30,
+                10,
+            ),
+            obj(
+                "imgDisp",
+                alloc_image,
+                &[b + 0xC00, b + 0xE00],
+                300 * MB,
+                0.40,
+                Pattern::Chase,
+                0.12,
+                4,
+            ),
+            obj(
+                "filtered",
+                b + 0x20,
+                &[b + 0xC20],
+                16 * MB,
+                0.18,
+                Pattern::hot(176 * KB),
+                0.35,
+                3,
+            ),
+            obj(
+                "params",
+                b + 0x30,
+                &[b + 0xC20],
+                MB,
+                0.16,
+                Pattern::hot(64 * KB),
+                0.20,
+                2,
+            ),
+        ],
+        phases: None,
+    }
+}
+
+fn lbm() -> AppSpec {
+    let b = 0x0048_1000;
+    AppSpec {
+        name: "lbm",
+        expected_class: ObjectClass::BandwidthSensitive,
+        mem_fraction: 0.46,
+        branch_fraction: 0.06,
+        mispredict_rate: 0.002,
+        stack_fraction: 0.05,
+        stack_working_set: 8 * KB,
+        code_bytes: 12 * KB,
+        branch_jump_prob: 0.02,
+        objects: vec![
+            // The two lattice-Boltzmann grids, streamed every timestep.
+            obj(
+                "srcGrid",
+                b + 0x10,
+                &[b + 0xD00],
+                190 * MB,
+                0.44,
+                Pattern::Stream { stride: 7 },
+                0.05,
+                10,
+            ),
+            obj(
+                "dstGrid",
+                b + 0x20,
+                &[b + 0xD00],
+                190 * MB,
+                0.40,
+                Pattern::Stream { stride: 7 },
+                0.60,
+                10,
+            ),
+            obj(
+                "flags",
+                b + 0x30,
+                &[b + 0xD10],
+                24 * MB,
+                0.16,
+                Pattern::Stream { stride: 3 },
+                0.00,
+                16,
+            ),
+        ],
+        phases: None,
+    }
+}
+
+fn mser() -> AppSpec {
+    let b = 0x004A_1000;
+    AppSpec {
+        name: "mser",
+        expected_class: ObjectClass::BandwidthSensitive,
+        mem_fraction: 0.40,
+        branch_fraction: 0.14,
+        mispredict_rate: 0.02,
+        stack_fraction: 0.08,
+        stack_working_set: 12 * KB,
+        code_bytes: 20 * KB,
+        branch_jump_prob: 0.08,
+        objects: vec![
+            // Flood-fill visits pixels in precomputed sorted order: random
+            // addresses but independent loads.
+            obj(
+                "img",
+                b + 0x10,
+                &[b + 0xE00],
+                180 * MB,
+                0.32,
+                Pattern::Random,
+                0.10,
+                4,
+            ),
+            obj(
+                "regions",
+                b + 0x20,
+                &[b + 0xE00],
+                120 * MB,
+                0.22,
+                Pattern::Stream { stride: 7 },
+                0.35,
+                8,
+            ),
+            // §II-B: many quiet objects around a few intensive ones.
+            obj(
+                "boundary",
+                b + 0x30,
+                &[b + 0xE10],
+                4 * MB,
+                0.18,
+                Pattern::hot(128 * KB),
+                0.40,
+                2,
+            ),
+            obj(
+                "hist",
+                b + 0x40,
+                &[b + 0xE10],
+                MB,
+                0.14,
+                Pattern::hot(64 * KB),
+                0.30,
+                2,
+            ),
+            obj(
+                "labels",
+                b + 0x50,
+                &[b + 0xE20],
+                8 * MB,
+                0.14,
+                Pattern::hot(160 * KB),
+                0.50,
+                2,
+            ),
+        ],
+        phases: None,
+    }
+}
+
+fn tracking() -> AppSpec {
+    let b = 0x004C_1000;
+    let alloc_pyr = b + 0x10;
+    AppSpec {
+        name: "tracking",
+        expected_class: ObjectClass::BandwidthSensitive,
+        mem_fraction: 0.42,
+        branch_fraction: 0.10,
+        mispredict_rate: 0.01,
+        stack_fraction: 0.08,
+        stack_working_set: 12 * KB,
+        code_bytes: 28 * KB,
+        branch_jump_prob: 0.06,
+        objects: vec![
+            obj(
+                "features",
+                b + 0x20,
+                &[b + 0xF00],
+                160 * MB,
+                0.36,
+                Pattern::Stream { stride: 7 },
+                0.15,
+                10,
+            ),
+            // Image pyramid levels share an allocation wrapper.
+            obj(
+                "pyramid0",
+                alloc_pyr,
+                &[b + 0xF10, b + 0xF40],
+                120 * MB,
+                0.22,
+                Pattern::Random,
+                0.10,
+                4,
+            ),
+            obj(
+                "pyramid1",
+                alloc_pyr,
+                &[b + 0xF20, b + 0xF40],
+                60 * MB,
+                0.20,
+                Pattern::Stream { stride: 5 },
+                0.20,
+                10,
+            ),
+            obj(
+                "coords",
+                b + 0x30,
+                &[b + 0xF30],
+                2 * MB,
+                0.22,
+                Pattern::hot(128 * KB),
+                0.35,
+                2,
+            ),
+        ],
+        phases: None,
+    }
+}
+
+fn gcc() -> AppSpec {
+    let b = 0x004E_1000;
+    AppSpec {
+        name: "gcc",
+        expected_class: ObjectClass::NonIntensive,
+        mem_fraction: 0.30,
+        branch_fraction: 0.20,
+        mispredict_rate: 0.05,
+        stack_fraction: 0.18,
+        stack_working_set: 24 * KB,
+        code_bytes: 96 * KB,
+        branch_jump_prob: 0.20,
+        objects: vec![
+            // §VI-A: gcc has one higher-L2MPKI object MOCA promotes to
+            // RLDRAM while the rest stay in LPDDR. A working set slightly
+            // beyond the L2 gives it MPKI just above Thr_Lat.
+            obj(
+                "symtab",
+                b + 0x10,
+                &[b + 0x800],
+                48 * MB,
+                0.26,
+                Pattern::Hot {
+                    working_set: 96 * KB,
+                    cold_fraction: 0.05,
+                    chase: true,
+                },
+                0.25,
+                2,
+            ),
+            obj(
+                "rtl",
+                b + 0x20,
+                &[b + 0x800],
+                8 * MB,
+                0.30,
+                Pattern::Hot {
+                    working_set: 64 * KB,
+                    cold_fraction: 0.010,
+                    chase: false,
+                },
+                0.35,
+                2,
+            ),
+            obj(
+                "strings",
+                b + 0x30,
+                &[b + 0x810],
+                4 * MB,
+                0.22,
+                Pattern::Hot {
+                    working_set: 32 * KB,
+                    cold_fraction: 0.005,
+                    chase: false,
+                },
+                0.15,
+                2,
+            ),
+            obj(
+                "flags",
+                b + 0x40,
+                &[b + 0x820],
+                512 * KB,
+                0.22,
+                Pattern::hot(24 * KB),
+                0.30,
+                2,
+            ),
+        ],
+        phases: None,
+    }
+}
+
+fn sift() -> AppSpec {
+    let b = 0x0050_1000;
+    AppSpec {
+        name: "sift",
+        expected_class: ObjectClass::NonIntensive,
+        mem_fraction: 0.32,
+        branch_fraction: 0.12,
+        mispredict_rate: 0.015,
+        stack_fraction: 0.12,
+        stack_working_set: 16 * KB,
+        code_bytes: 40 * KB,
+        branch_jump_prob: 0.10,
+        objects: vec![
+            obj(
+                "octaves",
+                b + 0x10,
+                &[b + 0x900],
+                64 * MB,
+                0.46,
+                Pattern::Hot {
+                    working_set: 160 * KB,
+                    cold_fraction: 0.012,
+                    chase: false,
+                },
+                0.25,
+                3,
+            ),
+            obj(
+                "keypoints",
+                b + 0x20,
+                &[b + 0x910],
+                8 * MB,
+                0.30,
+                Pattern::Hot {
+                    working_set: 96 * KB,
+                    cold_fraction: 0.008,
+                    chase: false,
+                },
+                0.40,
+                2,
+            ),
+            obj(
+                "descriptors",
+                b + 0x30,
+                &[b + 0x920],
+                16 * MB,
+                0.24,
+                Pattern::Hot {
+                    working_set: 128 * KB,
+                    cold_fraction: 0.010,
+                    chase: false,
+                },
+                0.45,
+                2,
+            ),
+        ],
+        phases: None,
+    }
+}
+
+fn stitch() -> AppSpec {
+    let b = 0x0052_1000;
+    AppSpec {
+        name: "stitch",
+        expected_class: ObjectClass::NonIntensive,
+        mem_fraction: 0.30,
+        branch_fraction: 0.12,
+        mispredict_rate: 0.02,
+        stack_fraction: 0.12,
+        stack_working_set: 16 * KB,
+        code_bytes: 36 * KB,
+        branch_jump_prob: 0.12,
+        objects: vec![
+            obj(
+                "panorama",
+                b + 0x10,
+                &[b + 0x900],
+                56 * MB,
+                0.40,
+                Pattern::Hot {
+                    working_set: 128 * KB,
+                    cold_fraction: 0.015,
+                    chase: false,
+                },
+                0.35,
+                3,
+            ),
+            obj(
+                "matches",
+                b + 0x20,
+                &[b + 0x910],
+                12 * MB,
+                0.28,
+                Pattern::Hot {
+                    working_set: 96 * KB,
+                    cold_fraction: 0.006,
+                    chase: false,
+                },
+                0.30,
+                2,
+            ),
+            obj(
+                "homography",
+                b + 0x30,
+                &[b + 0x920],
+                MB,
+                0.18,
+                Pattern::hot(32 * KB),
+                0.25,
+                2,
+            ),
+            obj(
+                "blend",
+                b + 0x40,
+                &[b + 0x930],
+                10 * MB,
+                0.14,
+                Pattern::hot(96 * KB),
+                0.50,
+                2,
+            ),
+        ],
+        phases: None,
+    }
+}
+
+/// All ten benchmarks, in the paper's Table III order (L, B, N).
+pub fn suite() -> Vec<AppSpec> {
+    vec![
+        mcf(),
+        milc(),
+        libquantum(),
+        disparity(),
+        mser(),
+        lbm(),
+        tracking(),
+        gcc(),
+        sift(),
+        stitch(),
+    ]
+}
+
+/// Look up one benchmark by name. Panics on unknown names (a typo in an
+/// experiment definition).
+pub fn app_by_name(name: &str) -> AppSpec {
+    suite()
+        .into_iter()
+        .find(|a| a.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_validate() {
+        for app in suite() {
+            app.validate();
+        }
+    }
+
+    #[test]
+    fn table3_composition() {
+        let by_class = |c: ObjectClass| {
+            suite()
+                .into_iter()
+                .filter(|a| a.expected_class == c)
+                .count()
+        };
+        assert_eq!(by_class(ObjectClass::LatencySensitive), 4);
+        assert_eq!(by_class(ObjectClass::BandwidthSensitive), 3);
+        assert_eq!(by_class(ObjectClass::NonIntensive), 3);
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: std::collections::HashSet<_> = suite().iter().map(|a| a.name).collect();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn footprints_fit_nominal_machine() {
+        // Any single app must fit the 2 GB machine; the largest 4-app set
+        // must too (with room for stack/code/data pages).
+        let mut fps: Vec<u64> = suite().iter().map(|a| a.nominal_footprint()).collect();
+        for &f in &fps {
+            assert!(f < 1024 * MB, "single-app footprint too large: {f}");
+        }
+        fps.sort_unstable();
+        let worst4: u64 = fps.iter().rev().take(4).sum();
+        assert!(
+            worst4 < 1900 * MB,
+            "worst 4-app set exceeds the 2 GB machine: {worst4}"
+        );
+    }
+
+    #[test]
+    fn latency_apps_exceed_rldram_capacity() {
+        // The §VI-A contention story requires L-app footprints above the
+        // 256 MB RLDRAM module.
+        for app in suite() {
+            if app.expected_class == ObjectClass::LatencySensitive {
+                assert!(
+                    app.nominal_footprint() > 256 * MB,
+                    "{} should overflow RLDRAM",
+                    app.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_alloc_sites_have_distinct_stacks() {
+        // disparity and tracking deliberately reuse a malloc wrapper site;
+        // the (site, stack) pair must still be unique per object.
+        for app in suite() {
+            let mut seen = std::collections::HashSet::new();
+            for o in &app.objects {
+                assert!(
+                    seen.insert((o.alloc_site, o.call_stack.clone())),
+                    "{}/{}: duplicate naming key",
+                    app.name,
+                    o.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn app_by_name_finds_all() {
+        for app in suite() {
+            assert_eq!(app_by_name(app.name).name, app.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn app_by_name_rejects_unknown() {
+        app_by_name("doom");
+    }
+}

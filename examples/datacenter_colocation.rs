@@ -1,0 +1,79 @@
+//! Data-center co-location scenario (§VI-B): four applications with
+//! different memory personalities share one machine. Compares the
+//! homogeneous DDR3 baseline, application-level placement, and MOCA on the
+//! paper's heterogeneous memory system.
+//!
+//! ```text
+//! cargo run --release -p moca-bench --example datacenter_colocation
+//! ```
+
+use moca::pipeline::{Pipeline, PolicyKind};
+use moca_common::ModuleKind;
+use moca_sim::config::{HeterogeneousLayout, MemSystemConfig};
+
+fn main() {
+    // The 2L1B1N mix: two latency-bound services (mcf, milc), one
+    // bandwidth-bound analytics job (lbm), one mostly-compute job (sift).
+    let workload = ["mcf", "milc", "lbm", "sift"];
+    println!("co-located workload: {workload:?} (2L1B1N)\n");
+
+    let mut pipeline = Pipeline::quick();
+    let heter = MemSystemConfig::Heterogeneous(HeterogeneousLayout::config1());
+    let runs = [
+        (
+            "Homogen-DDR3",
+            pipeline.evaluate(
+                &workload,
+                MemSystemConfig::Homogeneous(ModuleKind::Ddr3),
+                PolicyKind::Homogeneous,
+            ),
+        ),
+        (
+            "Heter-App",
+            pipeline.evaluate(&workload, heter, PolicyKind::HeterApp),
+        ),
+        (
+            "MOCA",
+            pipeline.evaluate(&workload, heter, PolicyKind::Moca),
+        ),
+    ];
+
+    let base_time = runs[0].1.mem.total_read_latency_cycles as f64;
+    let base_edp = runs[0].1.mem.edp();
+    let base_ipc = runs[0].1.system_ipc();
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>12}",
+        "system", "mem time", "mem EDP", "sys perf", "core power W"
+    );
+    for (name, r) in &runs {
+        println!(
+            "{:<14} {:>9.3} {:>9.3} {:>9.3} {:>12.1}",
+            name,
+            r.mem.total_read_latency_cycles as f64 / base_time,
+            r.mem.edp() / base_edp,
+            r.system_ipc() / base_ipc,
+            r.avg_core_power_w(),
+        );
+    }
+    println!("\n(memory time and EDP normalized to Homogen-DDR3, lower is better;");
+    println!(" system performance normalized to Homogen-DDR3, higher is better)");
+
+    // Where did MOCA put the pages?
+    let moca = &runs[2].1;
+    println!("\nMOCA page placement (pages per module):");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}",
+        "app", "RLDRAM", "HBM", "LPDDR2", "DDR3"
+    );
+    for (i, core) in moca.per_core.iter().enumerate() {
+        let app = moca_common::AppId(i as u32);
+        println!(
+            "{:<12} {:>8} {:>8} {:>8} {:>8}",
+            core.app,
+            moca.placement.app_pages_on(app, ModuleKind::Rldram3),
+            moca.placement.app_pages_on(app, ModuleKind::Hbm),
+            moca.placement.app_pages_on(app, ModuleKind::Lpddr2),
+            moca.placement.app_pages_on(app, ModuleKind::Ddr3),
+        );
+    }
+}

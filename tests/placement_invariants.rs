@@ -1,0 +1,166 @@
+//! Property-based tests on the OS-level allocation structures: frame
+//! allocation, the typed heap layout, page tables, and the placement
+//! policies.
+
+use moca::policy::MocaPolicy;
+use moca_common::addr::{VirtAddr, PAGE_SIZE};
+use moca_common::{AppId, ModuleKind, ObjectClass};
+use moca_vm::frames::{regions_from_capacities, FrameSpace};
+use moca_vm::layout::{heap_class_of_va, HeapLayout, PageIntent};
+use moca_vm::policy::{preference_order, PagePlacementPolicy};
+use moca_vm::{PageTable, Tlb};
+use proptest::prelude::*;
+
+fn arb_class() -> impl Strategy<Value = ObjectClass> {
+    prop_oneof![
+        Just(ObjectClass::LatencySensitive),
+        Just(ObjectClass::BandwidthSensitive),
+        Just(ObjectClass::NonIntensive),
+    ]
+}
+
+fn small_frame_space() -> FrameSpace {
+    FrameSpace::new(regions_from_capacities(&[
+        (ModuleKind::Rldram3, 0, 8 * PAGE_SIZE),
+        (ModuleKind::Hbm, 1, 16 * PAGE_SIZE),
+        (ModuleKind::Lpddr2, 2, 12 * PAGE_SIZE),
+        (ModuleKind::Lpddr2, 3, 12 * PAGE_SIZE),
+    ]))
+}
+
+proptest! {
+    /// Every allocated frame is unique and within a region of the requested
+    /// fallback chain; allocation only fails when the whole chain is full.
+    #[test]
+    fn frames_unique_and_chain_respected(classes in prop::collection::vec(arb_class(), 1..200)) {
+        let mut fs = small_frame_space();
+        let mut seen = std::collections::HashSet::new();
+        for class in classes {
+            let prefs = preference_order(class);
+            let free_in_chain: u64 = prefs.iter().map(|&k| fs.free_of_kind(k)).sum();
+            match fs.alloc_by_preference(&prefs) {
+                Some((pfn, kind)) => {
+                    prop_assert!(seen.insert(pfn), "frame {pfn} double-allocated");
+                    prop_assert_eq!(fs.kind_of(pfn), Some(kind));
+                    // The chosen kind is the first in the chain that had
+                    // room at allocation time.
+                    for &earlier in prefs.iter().take_while(|&&k| k != kind) {
+                        prop_assert_eq!(fs.free_of_kind(earlier), 0,
+                            "skipped {:?} while it had free frames", earlier);
+                    }
+                }
+                None => prop_assert_eq!(free_in_chain, 0, "failed with space available"),
+            }
+        }
+    }
+
+    /// Freed frames are reused and never double-handed-out.
+    #[test]
+    fn free_then_realloc_is_consistent(ops in prop::collection::vec(any::<bool>(), 1..300)) {
+        let mut fs = small_frame_space();
+        let mut live: Vec<u64> = Vec::new();
+        for alloc in ops {
+            if alloc || live.is_empty() {
+                if let Some((pfn, _)) = fs.alloc_by_preference(&preference_order(ObjectClass::NonIntensive)) {
+                    prop_assert!(!live.contains(&pfn));
+                    live.push(pfn);
+                }
+            } else {
+                let pfn = live.swap_remove(live.len() / 2);
+                fs.free(pfn);
+            }
+        }
+    }
+
+    /// Typed-heap allocations are disjoint, 64-byte aligned, and their class
+    /// is recoverable from any address within the allocation.
+    #[test]
+    fn heap_layout_allocations_disjoint(reqs in prop::collection::vec((arb_class(), 1u64..100_000), 1..60)) {
+        let mut layout = HeapLayout::new();
+        let mut ranges: Vec<(u64, u64, ObjectClass)> = Vec::new();
+        for (class, size) in reqs {
+            let base = layout.alloc_heap(class, size);
+            prop_assert_eq!(base.0 % 64, 0);
+            for &(s, e, _) in &ranges {
+                prop_assert!(base.0 + size <= s || base.0 >= e, "overlap");
+            }
+            prop_assert_eq!(heap_class_of_va(base), Some(class));
+            prop_assert_eq!(heap_class_of_va(VirtAddr(base.0 + size - 1)), Some(class));
+            ranges.push((base.0, base.0 + size, class));
+        }
+    }
+
+    /// Page-table translations preserve offsets and never alias two vpns to
+    /// overlapping behaviours after unmap/remap.
+    #[test]
+    fn page_table_roundtrip(pairs in prop::collection::vec((0u64..1000, 0u64..1000), 1..100)) {
+        let mut pt = PageTable::new();
+        let mut shadow = std::collections::HashMap::new();
+        for (vpn, pfn) in pairs {
+            if shadow.contains_key(&vpn) {
+                pt.unmap(vpn);
+            }
+            pt.map(vpn, pfn);
+            shadow.insert(vpn, pfn);
+        }
+        for (vpn, pfn) in &shadow {
+            prop_assert_eq!(pt.translate_vpn(*vpn), Some(*pfn));
+            let va = VirtAddr(vpn * PAGE_SIZE + 0x123);
+            prop_assert_eq!(pt.translate(va).unwrap().0 & 0xfff, 0x123);
+        }
+        prop_assert_eq!(pt.mapped_pages(), shadow.len());
+    }
+
+    /// The TLB never returns a translation that was not inserted, and its
+    /// hit results always match the latest insert.
+    #[test]
+    fn tlb_is_a_cache_of_truth(ops in prop::collection::vec((0u64..40, 0u64..1000), 1..200)) {
+        let mut tlb = Tlb::new(8);
+        let mut truth = std::collections::HashMap::new();
+        for (vpn, pfn) in ops {
+            if let Some(got) = tlb.lookup(vpn) {
+                prop_assert_eq!(Some(&got), truth.get(&vpn));
+            }
+            tlb.insert(vpn, pfn);
+            truth.insert(vpn, pfn);
+        }
+    }
+
+    /// MOCA's policy always produces a frame while memory remains, and heap
+    /// pages land on the class-preferred module until it is exhausted.
+    #[test]
+    fn moca_policy_total_until_oom(classes in prop::collection::vec(arb_class(), 1..48)) {
+        let mut fs = small_frame_space();
+        let mut policy = MocaPolicy;
+        for class in classes {
+            let preferred = preference_order(class)[0];
+            let had_preferred = fs.free_of_kind(preferred) > 0;
+            let pfn = policy
+                .place(AppId(0), PageIntent::Heap(class), &mut fs)
+                .expect("memory not exhausted");
+            if had_preferred {
+                prop_assert_eq!(fs.kind_of(pfn), Some(preferred));
+            }
+        }
+    }
+}
+
+#[test]
+fn moca_policy_exhausts_exactly_total_frames() {
+    let mut fs = small_frame_space();
+    let total = fs.total_frames();
+    let mut policy = MocaPolicy;
+    let mut got = 0;
+    while policy
+        .place(
+            AppId(0),
+            PageIntent::Heap(ObjectClass::NonIntensive),
+            &mut fs,
+        )
+        .is_some()
+    {
+        got += 1;
+        assert!(got <= total, "handed out more frames than exist");
+    }
+    assert_eq!(got, total);
+}
