@@ -6,9 +6,9 @@
 //! The full-length reproduction lives in the `repro` binary
 //! (`cargo run --release -p moca-bench --bin repro -- all`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use moca::pipeline::{Pipeline, PolicyKind};
 use moca::profile::ProfileConfig;
+use moca_bench::microbench::Group;
 use moca_common::ModuleKind;
 use moca_sim::config::{HeterogeneousLayout, MemSystemConfig};
 
@@ -25,8 +25,8 @@ fn smoke_pipeline() -> Pipeline {
 }
 
 /// Fig. 8/9 point: one app on each memory system.
-fn bench_fig8_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8-single-core");
+fn bench_fig8_point() {
+    let mut g = Group::new("fig8-single-core");
     g.sample_size(10);
     let mut p = smoke_pipeline();
     p.classified("mcf"); // profile once, outside the timed region
@@ -41,23 +41,16 @@ fn bench_fig8_point(c: &mut Criterion) {
         ("moca", heter, PolicyKind::Moca),
     ];
     for (name, mem, policy) in systems {
-        g.bench_with_input(
-            BenchmarkId::new("mcf", name),
-            &(mem, policy),
-            |b, &(mem, policy)| {
-                b.iter(|| {
-                    let mut p2 = p.clone();
-                    p2.evaluate(&["mcf"], mem, policy).runtime_cycles
-                });
-            },
-        );
+        g.bench(&format!("mcf/{name}"), || {
+            let mut p2 = p.clone();
+            p2.evaluate(&["mcf"], mem, policy).runtime_cycles
+        });
     }
-    g.finish();
 }
 
 /// Fig. 10 point: a 2B2N multicore set under Heter-App vs MOCA.
-fn bench_fig10_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10-multicore");
+fn bench_fig10_point() {
+    let mut g = Group::new("fig10-multicore");
     g.sample_size(10);
     let mut p = smoke_pipeline();
     for a in ["lbm", "tracking", "gcc", "sift"] {
@@ -65,22 +58,19 @@ fn bench_fig10_point(c: &mut Criterion) {
     }
     let heter = MemSystemConfig::Heterogeneous(HeterogeneousLayout::config1());
     for policy in [PolicyKind::HeterApp, PolicyKind::Moca] {
-        g.bench_function(policy.label(), |b| {
-            b.iter(|| {
-                let mut p2 = p.clone();
-                p2.evaluate(&["lbm", "tracking", "gcc", "sift"], heter, policy)
-                    .runtime_cycles
-            });
+        g.bench(policy.label(), || {
+            let mut p2 = p.clone();
+            p2.evaluate(&["lbm", "tracking", "gcc", "sift"], heter, policy)
+                .runtime_cycles
         });
     }
-    g.finish();
 }
 
 /// Profiling stage cost (the offline overhead MOCA claims is cheap).
-fn bench_profiling(c: &mut Criterion) {
+fn bench_profiling() {
     use moca::profile::profile_app;
     use moca_workloads::{app_by_name, InputSet};
-    let mut g = c.benchmark_group("offline-profiling");
+    let mut g = Group::new("offline-profiling");
     g.sample_size(10);
     let cfg = ProfileConfig {
         warmup_instrs: 40_000,
@@ -88,18 +78,15 @@ fn bench_profiling(c: &mut Criterion) {
         ..ProfileConfig::quick()
     };
     for app in ["mcf", "gcc"] {
-        g.bench_function(app, |b| {
-            let spec = app_by_name(app);
-            b.iter(|| profile_app(&spec, InputSet::training(), &cfg).instructions);
+        let spec = app_by_name(app);
+        g.bench(app, || {
+            profile_app(&spec, InputSet::training(), &cfg).instructions
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fig8_point,
-    bench_fig10_point,
-    bench_profiling
-);
-criterion_main!(benches);
+fn main() {
+    bench_fig8_point();
+    bench_fig10_point();
+    bench_profiling();
+}

@@ -1,86 +1,77 @@
-//! Criterion microbenchmarks for the simulation substrates: how fast the
-//! pieces themselves run (simulator throughput, not simulated performance).
+//! Microbenchmarks for the simulation substrates: how fast the pieces
+//! themselves run (simulator throughput, not simulated performance).
+//!
+//! Run with `cargo bench -p moca-bench --bench substrates`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use moca_bench::microbench::Group;
 use moca_cache::{CacheConfig, SetAssocCache};
 use moca_common::ids::MemTag;
 use moca_common::{AccessKind, CoreId, DetRng, LineAddr, ModuleKind, Segment};
 use moca_dram::{Channel, ChannelConfig, DeviceTiming, MemRequest};
 use moca_vm::{PageTable, Tlb};
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(10_000));
+fn bench_cache() {
+    let mut g = Group::new("cache");
+    g.throughput_elems(10_000);
     for (name, span) in [("hit-heavy", 400u64), ("miss-heavy", 1 << 20)] {
-        g.bench_function(name, |b| {
-            let mut cache = SetAssocCache::new(CacheConfig::l2());
-            let mut rng = DetRng::new(7, 7);
-            b.iter(|| {
-                for _ in 0..10_000 {
-                    let line = LineAddr(rng.below(span));
-                    if !cache.access(line, false) {
-                        cache.fill(line, false);
-                    }
+        let mut cache = SetAssocCache::new(CacheConfig::l2());
+        let mut rng = DetRng::new(7, 7);
+        g.bench(name, || {
+            for _ in 0..10_000 {
+                let line = LineAddr(rng.below(span));
+                if !cache.access(line, false) {
+                    cache.fill(line, false);
                 }
-            });
+            }
         });
     }
-    g.finish();
 }
 
-fn bench_dram_channel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dram-channel");
+fn bench_dram_channel() {
+    let mut g = Group::new("dram-channel");
     g.sample_size(20);
     for kind in ModuleKind::ALL {
-        g.bench_with_input(
-            BenchmarkId::new("stream-1k-reads", kind.name()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let mut ch =
-                        Channel::new(ChannelConfig::new(DeviceTiming::for_kind(kind), 512 << 20));
-                    let mut now = 0u64;
-                    let mut sent = 0u64;
-                    let mut done = 0u64;
-                    let mut out = Vec::new();
-                    while done < 1000 {
-                        now += 1;
-                        while sent < 1000 && ch.can_accept(AccessKind::Read) {
-                            ch.enqueue(
-                                now,
-                                MemRequest {
-                                    token: sent,
-                                    line: LineAddr(sent),
-                                    local_off: sent * 64,
-                                    kind: AccessKind::Read,
-                                    core: CoreId(0),
-                                    tag: MemTag::segment(Segment::Data),
-                                },
-                            );
-                            sent += 1;
-                        }
-                        out.clear();
-                        ch.tick(now, &mut out);
-                        done += out.len() as u64;
-                    }
-                    now
-                });
-            },
-        );
+        g.bench(&format!("stream-1k-reads/{}", kind.name()), || {
+            let mut ch = Channel::new(ChannelConfig::new(DeviceTiming::for_kind(kind), 512 << 20));
+            let mut now = 0u64;
+            let mut sent = 0u64;
+            let mut done = 0u64;
+            let mut out = Vec::new();
+            while done < 1000 {
+                now += 1;
+                while sent < 1000 && ch.can_accept(AccessKind::Read) {
+                    ch.enqueue(
+                        now,
+                        MemRequest {
+                            token: sent,
+                            line: LineAddr(sent),
+                            local_off: sent * 64,
+                            kind: AccessKind::Read,
+                            core: CoreId(0),
+                            tag: MemTag::segment(Segment::Data),
+                        },
+                    );
+                    sent += 1;
+                }
+                out.clear();
+                ch.tick(now, &mut out);
+                done += out.len() as u64;
+            }
+            now
+        });
     }
-    g.finish();
 }
 
-fn bench_vm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vm");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("tlb-lookup", |b| {
+fn bench_vm() {
+    let mut g = Group::new("vm");
+    g.throughput_elems(10_000);
+    {
         let mut tlb = Tlb::new(64);
         for i in 0..64 {
             tlb.insert(i, i);
         }
         let mut rng = DetRng::new(3, 3);
-        b.iter(|| {
+        g.bench("tlb-lookup", || {
             let mut hits = 0u64;
             for _ in 0..10_000 {
                 if tlb.lookup(rng.below(80)).is_some() {
@@ -89,87 +80,78 @@ fn bench_vm(c: &mut Criterion) {
             }
             hits
         });
-    });
-    g.bench_function("page-table-translate", |b| {
+    }
+    {
         let mut pt = PageTable::new();
         for i in 0..4096 {
             pt.map(i, i * 2);
         }
         let mut rng = DetRng::new(4, 4);
-        b.iter(|| {
+        g.bench("page-table-translate", || {
             let mut sum = 0u64;
             for _ in 0..10_000 {
                 sum += pt.translate_vpn(rng.below(4096)).unwrap();
             }
             sum
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_workload_gen(c: &mut Criterion) {
+fn bench_workload_gen() {
     use moca_cpu::InstrStream;
     use moca_workloads::{app_by_name, AppRun, InputSet};
-    let mut g = c.benchmark_group("workload-gen");
-    g.throughput(Throughput::Elements(100_000));
+    let mut g = Group::new("workload-gen");
+    g.throughput_elems(100_000);
     for app in ["mcf", "lbm", "gcc"] {
-        g.bench_function(app, |b| {
-            let spec = app_by_name(app);
-            let sizes = moca_workloads::gen::scaled_sizes(&spec, InputSet::reference(), 1.0 / 64.0);
-            let mut bases = Vec::new();
-            let mut cur = 0x2000_0000u64;
-            for s in sizes {
-                bases.push(moca_common::VirtAddr(cur));
-                cur += s;
-            }
-            let mut run = AppRun::new(
-                &spec,
-                InputSet::reference(),
-                1.0 / 64.0,
-                &bases,
-                moca_common::VirtAddr(0x7000_0000),
-                0,
-            );
-            b.iter(|| {
-                let mut loads = 0u64;
-                for _ in 0..100_000 {
-                    if matches!(run.next_instr(), Some(moca_cpu::Instr::Load { .. })) {
-                        loads += 1;
-                    }
+        let spec = app_by_name(app);
+        let sizes = moca_workloads::gen::scaled_sizes(&spec, InputSet::reference(), 1.0 / 64.0);
+        let mut bases = Vec::new();
+        let mut cur = 0x2000_0000u64;
+        for s in sizes {
+            bases.push(moca_common::VirtAddr(cur));
+            cur += s;
+        }
+        let mut run = AppRun::new(
+            &spec,
+            InputSet::reference(),
+            1.0 / 64.0,
+            &bases,
+            moca_common::VirtAddr(0x7000_0000),
+            0,
+        );
+        g.bench(app, || {
+            let mut loads = 0u64;
+            for _ in 0..100_000 {
+                if matches!(run.next_instr(), Some(moca_cpu::Instr::Load { .. })) {
+                    loads += 1;
                 }
-                loads
-            });
+            }
+            loads
         });
     }
-    g.finish();
 }
 
-fn bench_full_system(c: &mut Criterion) {
+fn bench_full_system() {
     use moca_sim::config::{MemSystemConfig, SystemConfig};
     use moca_sim::system::{AppLaunch, System};
     use moca_vm::policy::FirstTouchPolicy;
     use moca_workloads::{app_by_name, InputSet};
-    let mut g = c.benchmark_group("full-system");
+    let mut g = Group::new("full-system");
     g.sample_size(10);
     for app in ["lbm", "gcc"] {
-        g.bench_function(format!("simulate-50k-instrs-{app}"), |b| {
-            b.iter(|| {
-                let cfg = SystemConfig::single_core(MemSystemConfig::Homogeneous(ModuleKind::Ddr3));
-                let launch = AppLaunch::untyped(app_by_name(app), InputSet::reference());
-                let mut sys = System::new(cfg, vec![launch], Box::new(FirstTouchPolicy));
-                sys.run(50_000).runtime_cycles
-            });
+        g.bench(&format!("simulate-50k-instrs-{app}"), || {
+            let cfg = SystemConfig::single_core(MemSystemConfig::Homogeneous(ModuleKind::Ddr3));
+            let launch = AppLaunch::untyped(app_by_name(app), InputSet::reference());
+            let mut sys = System::new(cfg, vec![launch], Box::new(FirstTouchPolicy));
+            sys.run(50_000).runtime_cycles
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_dram_channel,
-    bench_vm,
-    bench_workload_gen,
-    bench_full_system
-);
-criterion_main!(benches);
+fn main() {
+    bench_cache();
+    bench_dram_channel();
+    bench_vm();
+    bench_workload_gen();
+    bench_full_system();
+}

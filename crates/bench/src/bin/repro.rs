@@ -1,24 +1,33 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] <target>...
+//! repro [--quick] [--out DIR] [--trace FILE] [--metrics-window N] <target>...
 //!
 //! targets: table1 table2 table3 fig1 fig2 fig5 fig8 fig9 fig10 fig11
 //!          fig12 fig13 fig14 fig15 fig16 thresholds migration ablations all
 //! ```
 //!
 //! Results are printed as aligned tables and saved as JSON under `--out`
-//! (default `results/`).
+//! (default `results/`). Progress lines go to stderr and to
+//! `<out>/repro_progress.log`.
+//!
+//! `--trace FILE` additionally runs one fully instrumented exemplar
+//! evaluation (mcf on Heter config1 under MOCA) and writes a Chrome-trace /
+//! Perfetto JSON file with cycle-stamped simulator events, windowed metric
+//! counters, and host-side phase spans. `--metrics-window N` sets the
+//! counter sampling period in cycles (default 50000 when tracing).
 
+use moca::pipeline::PolicyKind;
 use moca_bench::experiments as exp;
 use moca_bench::{Scale, SeededPipeline, Table};
+use moca_sim::config::{HeterogeneousLayout, MemSystemConfig};
+use moca_telemetry::{write_chrome_trace, HostProfiler, ProgressReporter, RingSink, Telemetry};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
-use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--out DIR] <target>...\n\
+        "usage: repro [--quick] [--out DIR] [--trace FILE] [--metrics-window N] <target>...\n\
          targets: table1 table2 table3 fig1 fig2 fig5 fig8 fig9 fig10 fig11 \
          fig12 fig13 fig14 fig15 fig16 thresholds migration ablations all"
     );
@@ -28,19 +37,34 @@ fn usage() -> ! {
 fn main() {
     let mut scale = Scale::Full;
     let mut out_dir = PathBuf::from("results");
+    let mut trace: Option<PathBuf> = None;
+    let mut metrics_window: Option<u64> = None;
     let mut targets: BTreeSet<String> = BTreeSet::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => scale = Scale::Quick,
             "--out" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--metrics-window" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                match n.parse::<u64>() {
+                    Ok(v) if v > 0 => metrics_window = Some(v),
+                    _ => {
+                        eprintln!(
+                            "repro: --metrics-window wants a positive cycle count, got {n:?}"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             "-h" | "--help" => usage(),
             t => {
                 targets.insert(t.to_string());
             }
         }
     }
-    if targets.is_empty() {
+    if targets.is_empty() && trace.is_none() {
         usage();
     }
     if targets.remove("all") {
@@ -68,6 +92,10 @@ fn main() {
         }
     }
 
+    let mut progress = ProgressReporter::new(Some(&out_dir.join("repro_progress.log")));
+    let mut profiler = HostProfiler::new();
+    let mut traced_cycles: Option<u64> = None;
+
     let emit = |t: &Table| {
         println!("{}", t.render());
         if let Err(e) = t.save_json(&out_dir) {
@@ -83,55 +111,85 @@ fn main() {
         emit(&exp::table2());
     }
 
-    let needs_profiles = targets.iter().any(|t| {
-        matches!(
-            t.as_str(),
-            "table3"
-                | "fig1"
-                | "fig2"
-                | "fig5"
-                | "fig8"
-                | "fig9"
-                | "fig10"
-                | "fig11"
-                | "fig12"
-                | "fig13"
-                | "fig14"
-                | "fig15"
-                | "fig16"
-                | "migration"
-                | "ablations"
-        )
-    });
+    let needs_profiles = trace.is_some()
+        || targets.iter().any(|t| {
+            matches!(
+                t.as_str(),
+                "table3"
+                    | "fig1"
+                    | "fig2"
+                    | "fig5"
+                    | "fig8"
+                    | "fig9"
+                    | "fig10"
+                    | "fig11"
+                    | "fig12"
+                    | "fig13"
+                    | "fig14"
+                    | "fig15"
+                    | "fig16"
+                    | "migration"
+                    | "ablations"
+            )
+        });
     if needs_profiles {
-        let t0 = Instant::now();
-        eprintln!("[repro] profiling the suite ({scale:?}) ...");
-        let mut sp = SeededPipeline::new(scale);
-        eprintln!(
-            "[repro] profiling done in {:.1}s",
-            t0.elapsed().as_secs_f64()
-        );
+        progress.step(&format!("profiling the suite ({scale:?}) ..."));
+        let sp = profiler.time("profile-suite", || SeededPipeline::new(scale));
+        progress.step("profiling done");
 
+        if let Some(trace_path) = &trace {
+            let window = metrics_window.unwrap_or(50_000);
+            progress.step(&format!(
+                "traced exemplar run (mcf, Heter config1, MOCA, {window}-cycle windows) ..."
+            ));
+            let mut p = sp.pipeline.clone();
+            let mut tel = Telemetry::with_sink(Box::new(RingSink::new(200_000)))
+                .with_window(window)
+                .with_host_profiling();
+            p.emit_classifications(&mut tel);
+            let (res, mut tel) = profiler.time("traced-run", || {
+                p.evaluate_with_telemetry(
+                    &["mcf"],
+                    MemSystemConfig::Heterogeneous(HeterogeneousLayout::config1()),
+                    PolicyKind::Moca,
+                    tel,
+                )
+            });
+            traced_cycles = Some(res.runtime_cycles);
+            let events = tel.drain_events();
+            progress.step(&format!(
+                "traced run finished: {} cycles, {} events captured",
+                res.runtime_cycles,
+                events.len()
+            ));
+            match write_chrome_trace(trace_path, &events, &tel.registry, Some(&profiler)) {
+                Ok(()) => progress.step(&format!("trace written to {}", trace_path.display())),
+                Err(e) => eprintln!("warning: could not write trace: {e}"),
+            }
+            print!("{}", tel.registry.render_summary());
+            print!("{}", tel.components.render_summary());
+        }
+
+        let mut sp = sp;
         if targets.contains("fig1") {
-            emit(&exp::fig1(&mut sp));
+            emit(&profiler.time("fig1", || exp::fig1(&mut sp)));
         }
         if targets.contains("fig2") {
-            emit(&exp::fig2(&mut sp));
+            emit(&profiler.time("fig2", || exp::fig2(&mut sp)));
         }
         if targets.contains("fig5") {
-            emit(&exp::fig5(&mut sp));
+            emit(&profiler.time("fig5", || exp::fig5(&mut sp)));
         }
         if targets.contains("table3") {
-            emit(&exp::table3(&mut sp));
+            emit(&profiler.time("table3", || exp::table3(&mut sp)));
         }
         if targets.contains("fig16") {
-            emit(&exp::fig16(&mut sp));
+            emit(&profiler.time("fig16", || exp::fig16(&mut sp)));
         }
         if targets.contains("fig8") || targets.contains("fig9") {
-            let t = Instant::now();
-            eprintln!("[repro] fig8/fig9: single-core sweep (60 runs) ...");
-            let (f8, f9) = exp::fig8_fig9(&sp);
-            eprintln!("[repro] done in {:.1}s", t.elapsed().as_secs_f64());
+            progress.step("fig8/fig9: single-core sweep (60 runs) ...");
+            let (f8, f9) = profiler.time("fig8-fig9", || exp::fig8_fig9(&sp));
+            progress.step("fig8/fig9 done");
             if targets.contains("fig8") {
                 emit(&f8);
             }
@@ -141,10 +199,9 @@ fn main() {
         }
         let multi = ["fig10", "fig11", "fig12", "fig13"];
         if multi.iter().any(|m| targets.contains(*m)) {
-            let t = Instant::now();
-            eprintln!("[repro] fig10-13: multicore sweep (60 four-core runs) ...");
-            let (f10, f11, f12, f13) = exp::fig10_to_13(&sp);
-            eprintln!("[repro] done in {:.1}s", t.elapsed().as_secs_f64());
+            progress.step("fig10-13: multicore sweep (60 four-core runs) ...");
+            let (f10, f11, f12, f13) = profiler.time("fig10-fig13", || exp::fig10_to_13(&sp));
+            progress.step("fig10-13 done");
             for (name, tab) in [
                 ("fig10", &f10),
                 ("fig11", &f11),
@@ -157,24 +214,28 @@ fn main() {
             }
         }
         if targets.contains("migration") {
-            let t = Instant::now();
-            eprintln!("[repro] migration study (9 runs) ...");
-            emit(&exp::migration_study(&sp));
-            eprintln!("[repro] done in {:.1}s", t.elapsed().as_secs_f64());
+            progress.step("migration study (9 runs) ...");
+            emit(&profiler.time("migration", || exp::migration_study(&sp)));
+            progress.step("migration study done");
         }
         if targets.contains("ablations") {
-            let t = Instant::now();
-            eprintln!("[repro] design ablations (fallback orders, segments, scale) ...");
-            emit(&exp::ablation_fallback(&sp));
-            emit(&exp::ablation_segments(&sp));
-            emit(&exp::ablation_scale());
-            eprintln!("[repro] done in {:.1}s", t.elapsed().as_secs_f64());
+            progress.step("design ablations (fallback orders, segments, scale) ...");
+            let (a, b, c) = profiler.time("ablations", || {
+                (
+                    exp::ablation_fallback(&sp),
+                    exp::ablation_segments(&sp),
+                    exp::ablation_scale(),
+                )
+            });
+            emit(&a);
+            emit(&b);
+            emit(&c);
+            progress.step("ablations done");
         }
         if targets.contains("fig14") || targets.contains("fig15") {
-            let t = Instant::now();
-            eprintln!("[repro] fig14/fig15: configuration sweep (30 four-core runs) ...");
-            let (f14, f15) = exp::fig14_fig15(&sp);
-            eprintln!("[repro] done in {:.1}s", t.elapsed().as_secs_f64());
+            progress.step("fig14/fig15: configuration sweep (30 four-core runs) ...");
+            let (f14, f15) = profiler.time("fig14-fig15", || exp::fig14_fig15(&sp));
+            progress.step("fig14/fig15 done");
             if targets.contains("fig14") {
                 emit(&f14);
             }
@@ -185,9 +246,13 @@ fn main() {
     }
 
     if targets.contains("thresholds") {
-        let t = Instant::now();
-        eprintln!("[repro] threshold search (16 candidate points) ...");
-        emit(&exp::threshold_search(scale));
-        eprintln!("[repro] done in {:.1}s", t.elapsed().as_secs_f64());
+        progress.step("threshold search (16 candidate points) ...");
+        emit(&profiler.time("thresholds", || exp::threshold_search(scale)));
+        progress.step("threshold search done");
     }
+
+    if !profiler.spans().is_empty() {
+        eprint!("{}", profiler.render_summary(traced_cycles));
+    }
+    progress.step("all targets complete");
 }

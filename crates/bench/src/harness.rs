@@ -3,11 +3,11 @@
 
 use moca::pipeline::{Pipeline, PolicyKind};
 use moca::profile::{profile_app, ProfileConfig};
+use moca_common::par::{parallel_map, parallel_map_owned};
 use moca_common::ModuleKind;
 use moca_sim::config::{HeterogeneousLayout, MemSystemConfig};
 use moca_sim::metrics::RunResult;
 use moca_workloads::{app_by_name, suite, InputSet};
-use rayon::prelude::*;
 
 /// Experiment run-length scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,10 +69,9 @@ impl SeededPipeline {
     pub fn new(scale: Scale) -> SeededPipeline {
         let mut pipeline = scale.pipeline();
         let cfg: ProfileConfig = pipeline.profile_cfg;
-        let luts: Vec<_> = suite()
-            .par_iter()
-            .map(|spec| profile_app(spec, InputSet::training(), &cfg))
-            .collect();
+        let luts = parallel_map(&suite(), |spec| {
+            profile_app(spec, InputSet::training(), &cfg)
+        });
         for lut in luts {
             pipeline.insert_profile(lut);
         }
@@ -91,12 +90,10 @@ impl SeededPipeline {
         &self,
         jobs: Vec<(String, Vec<&str>, MemSystemConfig, PolicyKind)>,
     ) -> Vec<(String, RunResult)> {
-        jobs.into_par_iter()
-            .map(|(label, apps, mem, policy)| {
-                let r = self.evaluate(&apps, mem, policy);
-                (label, r)
-            })
-            .collect()
+        parallel_map_owned(jobs, |(label, apps, mem, policy)| {
+            let r = self.evaluate(&apps, mem, policy);
+            (label, r)
+        })
     }
 }
 

@@ -7,6 +7,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod microbench;
 pub mod report;
 
 pub use harness::{Scale, SeededPipeline};

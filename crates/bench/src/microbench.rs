@@ -1,0 +1,123 @@
+//! A small wall-clock benchmarking harness for the `benches/` targets.
+//!
+//! The workspace previously used criterion; this replaces it with a
+//! dependency-free measure-and-print loop (the build container has no
+//! crates.io access). It keeps the parts that matter for a simulator —
+//! warmup, repeated samples, min/median/mean, optional elements-per-second
+//! throughput — and drops the statistical machinery.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A named group of related benchmarks, printed with a shared heading.
+pub struct Group {
+    name: String,
+    samples: usize,
+    throughput_elems: Option<u64>,
+}
+
+impl Group {
+    /// Start a group with the default sample count.
+    pub fn new(name: &str) -> Group {
+        println!("\n== {name} ==");
+        Group {
+            name: name.to_string(),
+            samples: 20,
+            throughput_elems: None,
+        }
+    }
+
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Group {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Report throughput as `elems` work items per iteration.
+    pub fn throughput_elems(&mut self, elems: u64) -> &mut Group {
+        self.throughput_elems = Some(elems);
+        self
+    }
+
+    /// Time `f` (one call = one iteration) and print a summary line.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Warmup: let caches, allocators, and branch predictors settle.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let mut line = format!(
+            "{:<40} min {:>10}  median {:>10}  mean {:>10}",
+            format!("{}/{}", self.name, name),
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+        );
+        if let Some(elems) = self.throughput_elems {
+            let rate = elems as f64 / median.as_secs_f64();
+            line.push_str(&format!("  ({} elem/s)", fmt_rate(rate)));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_cover_magnitudes() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(50)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(50)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(50)).ends_with(" s"));
+        assert_eq!(fmt_rate(2_500_000.0), "2.50M");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut count = 0u32;
+        let mut g = Group::new("selftest");
+        g.sample_size(3).bench("counter", || {
+            count += 1;
+            count
+        });
+        // 3 warmup + 3 samples.
+        assert_eq!(count, 6);
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod addr;
 pub mod ids;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod units;

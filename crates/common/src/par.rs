@@ -1,0 +1,95 @@
+//! Minimal data-parallel helpers built on `std::thread::scope`.
+//!
+//! The workspace previously used rayon for its two fan-out sites (profiling
+//! the app suite, evaluating figure configurations). Those are coarse-grained
+//! jobs — a handful of multi-second simulations — so a work-stealing pool is
+//! overkill: a shared atomic work index over scoped threads gives the same
+//! wall-clock win with no dependencies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` on up to `available_parallelism` worker threads,
+/// preserving input order in the result.
+///
+/// `f` runs on borrowed items; panics in workers propagate to the caller.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("parallel_map: worker left a slot empty")
+        })
+        .collect()
+}
+
+/// Map `f` over owned `items` in parallel, preserving input order.
+pub fn parallel_map_owned<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let wrapped: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    parallel_map(&wrapped, |slot| {
+        let item = slot
+            .lock()
+            .unwrap()
+            .take()
+            .expect("parallel_map_owned: item taken twice");
+        f(item)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(parallel_map(&[] as &[u64], |x| *x), Vec::<u64>::new());
+        assert_eq!(parallel_map(&[7u64], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn owned_variant_moves_items() {
+        let items = vec!["a".to_string(), "b".to_string()];
+        let out = parallel_map_owned(items, |s| s + "!");
+        assert_eq!(out, vec!["a!".to_string(), "b!".to_string()]);
+    }
+}

@@ -5,14 +5,27 @@
 //! is a pure function of its configuration. This is what lets the paper-style
 //! "training input vs. reference input" methodology work: the two inputs are
 //! simply different seeds and footprint scales.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna), whose
+//! 256-bit state is expanded from the mixed seed by SplitMix64 — the
+//! reference seeding procedure for the xoshiro family. No external crates:
+//! the container image has no registry access, and a hand-rolled generator
+//! also pins the exact sequence across toolchain updates.
 
 /// A deterministic RNG with convenience methods used by workload generation.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// One SplitMix64 step; used to expand a 64-bit seed into generator state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
@@ -28,28 +41,58 @@ impl DetRng {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
-        DetRng {
-            inner: SmallRng::seed_from_u64(z),
-        }
+        let mut sm = z;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { state }
+    }
+
+    /// Next raw value from the xoshiro256++ core.
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform value in `[0, bound)`. `bound` must be nonzero.
     #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0);
-        self.inner.gen_range(0..bound)
+        // Lemire-style rejection: unbiased, and the retry loop is almost
+        // never taken for the small bounds workload generation uses.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let wide = (x as u128) * (bound as u128);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
     #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Uniform `f64` in `[0, 1)`.
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the standard [0, 1) double conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Pick an index according to non-negative `weights`. Weights must not
@@ -57,7 +100,7 @@ impl DetRng {
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
         debug_assert!(total > 0.0, "weights sum to zero");
-        let mut x = self.inner.gen::<f64>() * total;
+        let mut x = self.unit() * total;
         for (i, w) in weights.iter().enumerate() {
             if x < *w {
                 return i;
@@ -70,7 +113,7 @@ impl DetRng {
     /// Raw 64-bit value.
     #[inline]
     pub fn raw(&mut self) -> u64 {
-        self.inner.gen()
+        self.next_u64()
     }
 }
 
@@ -119,5 +162,14 @@ mod tests {
         let mut r = DetRng::new(5, 5);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn unit_is_half_open() {
+        let mut r = DetRng::new(9, 9);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 }

@@ -9,6 +9,7 @@ use crate::profile::{profile_app, ProfileConfig, ProfileLut};
 use moca_sim::config::{MemSystemConfig, SystemConfig};
 use moca_sim::metrics::RunResult;
 use moca_sim::system::{AppLaunch, System};
+use moca_telemetry::{Event, Telemetry};
 use moca_vm::PagePlacementPolicy;
 use moca_workloads::{app_by_name, InputSet};
 use std::collections::HashMap;
@@ -124,6 +125,22 @@ impl Pipeline {
         mem: MemSystemConfig,
         policy: PolicyKind,
     ) -> RunResult {
+        self.evaluate_with_telemetry(apps, mem, policy, Telemetry::disabled())
+            .0
+    }
+
+    /// [`Pipeline::evaluate`] with an observability context threaded through
+    /// the run. Returns the metrics bundle together with the telemetry (its
+    /// sink holds the captured events, its registry the counters/windows).
+    /// Telemetry is write-only for the machine: the `RunResult` is
+    /// bit-identical to what [`Pipeline::evaluate`] returns.
+    pub fn evaluate_with_telemetry(
+        &mut self,
+        apps: &[&str],
+        mem: MemSystemConfig,
+        policy: PolicyKind,
+        tel: Telemetry,
+    ) -> (RunResult, Telemetry) {
         let sys_cfg = SystemConfig {
             cores: apps.len(),
             capacity_scale: self.profile_cfg.capacity_scale,
@@ -154,11 +171,42 @@ impl Pipeline {
             PolicyKind::Homogeneous => Box::new(HomogeneousPolicy),
             PolicyKind::Migration => Box::new(LowPowerFirstPolicy),
         };
-        let mut sys = System::new(sys_cfg, launches, policy_box);
+        let mut sys = System::new_with_telemetry(sys_cfg, launches, policy_box, tel);
         if policy == PolicyKind::Migration {
             sys.attach_migration(moca_sim::migration::MigrationConfig::default());
         }
-        sys.run_warmed(self.eval_warmup, self.eval_instrs)
+        let result = sys.run_warmed(self.eval_warmup, self.eval_instrs);
+        (result, sys.take_telemetry())
+    }
+
+    /// Emit the offline classification verdicts of every profiled app into
+    /// `tel` (cycle 0: the decisions predate the run). One app-level verdict
+    /// (`object: None`) plus one verdict per memory object, in the spec's
+    /// instantiation order.
+    pub fn emit_classifications(&mut self, tel: &mut Telemetry) {
+        let mut names: Vec<String> = self.cache.keys().cloned().collect();
+        names.sort();
+        for name in names {
+            let classified = self.cache[&name].1.clone();
+            tel.record(
+                0,
+                Event::ClassificationVerdict {
+                    app: name.clone(),
+                    object: None,
+                    class: classified.app_class.letter(),
+                },
+            );
+            for (i, class) in classified.object_classes.iter().enumerate() {
+                tel.record(
+                    0,
+                    Event::ClassificationVerdict {
+                        app: name.clone(),
+                        object: Some(i as u32),
+                        class: class.letter(),
+                    },
+                );
+            }
+        }
     }
 }
 

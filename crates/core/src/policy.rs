@@ -29,6 +29,14 @@ impl PagePlacementPolicy for MocaPolicy {
     fn name(&self) -> &'static str {
         "MOCA"
     }
+
+    fn preferred(&self, _app: AppId, intent: PageIntent) -> Option<ModuleKind> {
+        let class = match intent {
+            PageIntent::Heap(c) => c,
+            PageIntent::Stack | PageIntent::Code | PageIntent::Data => ObjectClass::NonIntensive,
+        };
+        Some(preference_order(class)[0])
+    }
 }
 
 /// The application-level baseline (Phadke & Narayanasamy, DATE'11; the
@@ -59,6 +67,12 @@ impl PagePlacementPolicy for HeterAppPolicy {
 
     fn name(&self) -> &'static str {
         "Heter-App"
+    }
+
+    fn preferred(&self, app: AppId, _intent: PageIntent) -> Option<ModuleKind> {
+        self.app_classes
+            .get(app.0 as usize)
+            .map(|&c| preference_order(c)[0])
     }
 }
 
@@ -97,6 +111,10 @@ impl PagePlacementPolicy for LowPowerFirstPolicy {
 
     fn name(&self) -> &'static str {
         "Heter-Migrate"
+    }
+
+    fn preferred(&self, _app: AppId, _intent: PageIntent) -> Option<ModuleKind> {
+        Some(preference_order(ObjectClass::NonIntensive)[0])
     }
 }
 
@@ -150,6 +168,14 @@ impl PagePlacementPolicy for ConfigurableMocaPolicy {
 
     fn name(&self) -> &'static str {
         "MOCA-custom"
+    }
+
+    fn preferred(&self, _app: AppId, intent: PageIntent) -> Option<ModuleKind> {
+        let class = match intent {
+            PageIntent::Heap(c) => c,
+            _ => self.segment_class,
+        };
+        Some(self.order_for(class)[0])
     }
 }
 
@@ -262,6 +288,26 @@ mod tests {
         }
         // DDR3 is in the fallback list but absent from this machine.
         assert_eq!(p.place(AppId(0), intent, &mut fs), None);
+    }
+
+    #[test]
+    fn preferred_reports_first_choice_for_fallback_detection() {
+        let mut fs = heter_frames(1, 4, 4);
+        let mut p = MocaPolicy;
+        let intent = PageIntent::Heap(ObjectClass::LatencySensitive);
+        // With capacity, preferred() matches the actual placement.
+        let a = p.place(AppId(0), intent, &mut fs).unwrap();
+        assert_eq!(fs.kind_of(a), p.preferred(AppId(0), intent));
+        // When the preferred module is full, place() falls back but
+        // preferred() still names the first choice — the mismatch telemetry
+        // reports as a fallback allocation.
+        let b = p.place(AppId(0), intent, &mut fs).unwrap();
+        assert_ne!(fs.kind_of(b), p.preferred(AppId(0), intent));
+        assert_eq!(p.preferred(AppId(0), intent), Some(ModuleKind::Rldram3));
+        // Heter-App prefers by app class; out-of-range apps yield None.
+        let h = HeterAppPolicy::new(vec![ObjectClass::BandwidthSensitive]);
+        assert_eq!(h.preferred(AppId(0), intent), Some(ModuleKind::Hbm));
+        assert_eq!(h.preferred(AppId(9), intent), None);
     }
 
     #[test]

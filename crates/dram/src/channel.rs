@@ -18,6 +18,7 @@ use crate::power::EnergyBreakdown;
 use crate::timing::DeviceTiming;
 use moca_common::ids::MemTag;
 use moca_common::{AccessKind, CoreId, Cycle, LineAddr};
+use moca_telemetry::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -219,6 +220,16 @@ impl Channel {
         self.stats = ChannelStats::default();
     }
 
+    /// Reads currently queued (not yet issued).
+    pub fn read_queue_len(&self) -> usize {
+        self.readq.len()
+    }
+
+    /// Writes currently queued (not yet issued).
+    pub fn write_queue_len(&self) -> usize {
+        self.writeq.len()
+    }
+
     /// Whether a request of `kind` can currently be enqueued.
     pub fn can_accept(&self, kind: AccessKind) -> bool {
         match kind {
@@ -273,6 +284,27 @@ impl Channel {
     /// Advance the channel to cycle `now`: start refresh if due, complete
     /// finished reads into `out`, and schedule at most one new command.
     pub fn tick(&mut self, now: Cycle, out: &mut Vec<Completion>) {
+        self.tick_impl(now, out, None);
+    }
+
+    /// [`Channel::tick`] with telemetry: refresh windows and row-buffer
+    /// conflicts are emitted as events tagged with this channel's index.
+    pub fn tick_tel(
+        &mut self,
+        now: Cycle,
+        out: &mut Vec<Completion>,
+        tel: &mut Telemetry,
+        channel: u32,
+    ) {
+        self.tick_impl(now, out, Some((tel, channel)));
+    }
+
+    fn tick_impl(
+        &mut self,
+        now: Cycle,
+        out: &mut Vec<Completion>,
+        mut tel: Option<(&mut Telemetry, u32)>,
+    ) {
         // Deliver finished reads.
         let mut i = 0;
         while i < self.inflight.len() {
@@ -298,6 +330,15 @@ impl Channel {
             self.refresh_until = now + self.cfg.timing.t_rfc;
             self.next_refresh_at = now + self.cfg.timing.t_refi;
             self.stats.refreshes += 1;
+            if let Some((t, ch)) = tel.as_mut() {
+                t.record(
+                    now,
+                    Event::RefreshStart {
+                        channel: *ch,
+                        cycles: self.cfg.timing.t_rfc,
+                    },
+                );
+            }
             for b in &mut self.banks {
                 b.open_row = None;
                 b.rc_ready = b.rc_ready.max(self.refresh_until);
@@ -326,11 +367,11 @@ impl Channel {
         if serve_writes {
             if let Some(idx) = self.select(now, false) {
                 let q = self.writeq.remove(idx).expect("selected write exists");
-                self.issue(now, q, false);
+                self.issue(now, q, false, tel);
             }
         } else if let Some(idx) = self.select(now, true) {
             let q = self.readq.remove(idx).expect("selected read exists");
-            self.issue(now, q, true);
+            self.issue(now, q, true, tel);
         }
     }
 
@@ -364,7 +405,13 @@ impl Channel {
         at
     }
 
-    fn issue(&mut self, now: Cycle, q: Queued, is_read: bool) {
+    fn issue(
+        &mut self,
+        now: Cycle,
+        q: Queued,
+        is_read: bool,
+        mut tel: Option<(&mut Telemetry, u32)>,
+    ) {
         let t = self.cfg.timing.clone();
         let d = decode_local(&t, q.req.local_off);
         let is_hit = t.supports_row_hits() && self.banks[d.bank as usize].open_row == Some(d.row);
@@ -373,6 +420,17 @@ impl Channel {
             (now + t.t_cl, true)
         } else {
             debug_assert!(self.act_possible_at(&self.banks[d.bank as usize]) <= now);
+            if let Some((tl, ch)) = tel.as_mut() {
+                if self.banks[d.bank as usize].open_row.is_some() {
+                    tl.record(
+                        now,
+                        Event::BankConflict {
+                            channel: *ch,
+                            bank: d.bank,
+                        },
+                    );
+                }
+            }
             let bank = &mut self.banks[d.bank as usize];
             bank.open_row = Some(d.row);
             bank.rc_ready = now + t.t_rc;

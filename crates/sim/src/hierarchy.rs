@@ -49,6 +49,10 @@ pub struct CoreHierarchy {
     deferred: VecDeque<Deferred>,
     l1_hit_latency: Cycle,
     l2_hit_latency: Cycle,
+    /// Set when the most recent [`MemReply::Retry`] was caused by MSHR
+    /// exhaustion (as opposed to a full channel queue); consumed by the
+    /// system loop to emit the matching telemetry event.
+    retry_was_mshr_full: bool,
 }
 
 impl CoreHierarchy {
@@ -72,7 +76,14 @@ impl CoreHierarchy {
             deferred: VecDeque::new(),
             l1_hit_latency,
             l2_hit_latency,
+            retry_was_mshr_full: false,
         }
+    }
+
+    /// Take (and clear) the MSHR-exhaustion marker left by the last
+    /// [`MemReply::Retry`].
+    pub fn take_retry_was_mshr_full(&mut self) -> bool {
+        std::mem::take(&mut self.retry_was_mshr_full)
     }
 
     /// L2 statistics (for MPKI cross-checks).
@@ -202,10 +213,12 @@ impl CoreHierarchy {
             };
         }
         if self.l2_mshr.is_full() {
+            self.retry_was_mshr_full = true;
             return MemReply::Retry;
         }
         let (ch, _) = mapper.map(line);
         if !channels[ch].can_accept(AccessKind::Read) {
+            self.retry_was_mshr_full = false;
             return MemReply::Retry;
         }
         let ticket = bump(tickets);

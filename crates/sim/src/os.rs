@@ -3,9 +3,23 @@
 
 use crate::metrics::PlacementReport;
 use moca_common::addr::{PhysAddr, VirtAddr};
-use moca_common::{AppId, Cycle};
+use moca_common::{AppId, Cycle, ObjectClass};
+use moca_telemetry::{Event, EventIntent, Telemetry};
 use moca_vm::layout::PageIntent;
 use moca_vm::{FrameSpace, PagePlacementPolicy, PageTable, Tlb};
+
+/// Telemetry's mirror of [`PageIntent`] (the telemetry crate sits below the
+/// VM layer and cannot name it directly).
+fn event_intent(intent: PageIntent) -> EventIntent {
+    match intent {
+        PageIntent::Heap(ObjectClass::LatencySensitive) => EventIntent::LatHeap,
+        PageIntent::Heap(ObjectClass::BandwidthSensitive) => EventIntent::BwHeap,
+        PageIntent::Heap(ObjectClass::NonIntensive) => EventIntent::PowHeap,
+        PageIntent::Stack => EventIntent::Stack,
+        PageIntent::Code => EventIntent::Code,
+        PageIntent::Data => EventIntent::Data,
+    }
+}
 
 /// Result of translating one access.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +70,28 @@ impl Os {
     /// Translate a virtual address for the app on `core_idx`, faulting in
     /// the page on first touch.
     pub fn translate(&mut self, core_idx: usize, va: VirtAddr) -> Translation {
+        self.translate_impl(core_idx, va, 0, None)
+    }
+
+    /// [`Os::translate`] with telemetry: faults and placements along this
+    /// translation are emitted as events stamped `now`.
+    pub fn translate_traced(
+        &mut self,
+        core_idx: usize,
+        va: VirtAddr,
+        now: Cycle,
+        tel: &mut Telemetry,
+    ) -> Translation {
+        self.translate_impl(core_idx, va, now, Some(tel))
+    }
+
+    fn translate_impl(
+        &mut self,
+        core_idx: usize,
+        va: VirtAddr,
+        now: Cycle,
+        tel: Option<&mut Telemetry>,
+    ) -> Translation {
         let vpn = va.vpn();
         if let Some(pfn) = self.tlbs[core_idx].lookup(vpn) {
             return Translation {
@@ -68,7 +104,7 @@ impl Os {
             Some(pfn) => pfn,
             None => {
                 extra += self.page_fault_penalty;
-                self.fault(core_idx, va)
+                self.fault_impl(core_idx, va, now, tel)
             }
         };
         self.tlbs[core_idx].insert(vpn, pfn);
@@ -83,16 +119,40 @@ impl Os {
     /// before first use). No-op if the page is already mapped.
     pub fn prefault(&mut self, core_idx: usize, va: VirtAddr) {
         if self.page_tables[core_idx].translate_vpn(va.vpn()).is_none() {
-            self.fault(core_idx, va);
+            self.fault_impl(core_idx, va, 0, None);
+        }
+    }
+
+    /// [`Os::prefault`] with telemetry; instantiation-time placements are
+    /// stamped cycle 0.
+    pub fn prefault_traced(&mut self, core_idx: usize, va: VirtAddr, tel: &mut Telemetry) {
+        if self.page_tables[core_idx].translate_vpn(va.vpn()).is_none() {
+            self.fault_impl(core_idx, va, 0, Some(tel));
         }
     }
 
     /// Page fault: ask the policy for a frame and map it (used both at
     /// instantiation time and for any page touched lazily, e.g. stack
     /// growth).
-    fn fault(&mut self, core_idx: usize, va: VirtAddr) -> u64 {
+    fn fault_impl(
+        &mut self,
+        core_idx: usize,
+        va: VirtAddr,
+        now: Cycle,
+        mut tel: Option<&mut Telemetry>,
+    ) -> u64 {
         let app = AppId(core_idx as u32);
         let intent = PageIntent::of_va(va);
+        if let Some(t) = tel.as_deref_mut() {
+            t.record(
+                now,
+                Event::PageFault {
+                    app: app.0,
+                    vpn: va.vpn(),
+                    intent: event_intent(intent),
+                },
+            );
+        }
         let pfn = self
             .policy
             .place(app, intent, &mut self.frames)
@@ -110,6 +170,31 @@ impl Os {
             .kind_of(pfn)
             .expect("allocated frame belongs to a region");
         self.placement.record(app, intent, kind);
+        if let Some(t) = tel {
+            t.record(
+                now,
+                Event::Placement {
+                    app: app.0,
+                    vpn: va.vpn(),
+                    pfn,
+                    kind,
+                    intent: event_intent(intent),
+                },
+            );
+            if let Some(preferred) = self.policy.preferred(app, intent) {
+                if preferred != kind {
+                    t.record(
+                        now,
+                        Event::FallbackAllocation {
+                            app: app.0,
+                            vpn: va.vpn(),
+                            got: kind,
+                            preferred,
+                        },
+                    );
+                }
+            }
+        }
         self.page_tables[core_idx].map(va.vpn(), pfn);
         self.owners.insert(pfn, (core_idx, va.vpn()));
         pfn

@@ -9,6 +9,7 @@ use moca_common::ids::MemTag;
 use moca_common::{CoreId, Cycle, ObjectClass, VirtAddr};
 use moca_cpu::{Core, MemPort, MemReply, StoreReply};
 use moca_dram::{AddressMapper, Channel, Completion};
+use moca_telemetry::{Event, Telemetry, WindowSnapshot};
 use moca_vm::layout::HeapLayout;
 use moca_vm::{FrameSpace, PagePlacementPolicy};
 use moca_workloads::gen::scaled_sizes;
@@ -58,6 +59,20 @@ pub struct System {
     /// Optional dynamic page-migration engine (the runtime-monitoring
     /// baseline of §IV-E / related work).
     migrator: Option<Migrator>,
+    /// Observability context. Strictly observational: nothing in the
+    /// simulated machine ever reads it, so runs with telemetry enabled are
+    /// bit-identical to runs without.
+    tel: Telemetry,
+    /// Next cycle at which a metrics window closes.
+    win_next: Cycle,
+    /// First cycle of the currently open metrics window.
+    win_start: Cycle,
+    /// Per-core committed-instruction baseline at window start.
+    win_committed: Vec<u64>,
+    /// Per-core L2 miss baseline at window start.
+    win_l2_miss: Vec<u64>,
+    /// Per-channel busy-cycle baseline at window start.
+    win_busy: Vec<Cycle>,
 }
 
 struct Port<'a> {
@@ -67,12 +82,24 @@ struct Port<'a> {
     os: &'a mut Os,
     core_idx: usize,
     tickets: &'a mut u64,
+    tel: &'a mut Telemetry,
+}
+
+impl Port<'_> {
+    /// Emit an MSHR-exhaustion stall if that is what the hierarchy's last
+    /// `Retry` meant (channel-full retries stay silent: they are visible as
+    /// queue-depth window samples instead).
+    fn note_retry(&mut self, now: Cycle, core: CoreId, reply: &MemReply) {
+        if matches!(reply, MemReply::Retry) && self.hier.take_retry_was_mshr_full() {
+            self.tel.record(now, Event::MshrFullStall { core: core.0 });
+        }
+    }
 }
 
 impl MemPort for Port<'_> {
     fn load(&mut self, now: Cycle, core: CoreId, va: VirtAddr, tag: MemTag) -> MemReply {
-        let tr = self.os.translate(self.core_idx, va);
-        self.hier.load(
+        let tr = self.os.translate_traced(self.core_idx, va, now, self.tel);
+        let reply = self.hier.load(
             now,
             core,
             tr.pa,
@@ -81,11 +108,13 @@ impl MemPort for Port<'_> {
             self.channels,
             self.mapper,
             self.tickets,
-        )
+        );
+        self.note_retry(now, core, &reply);
+        reply
     }
 
     fn store(&mut self, now: Cycle, core: CoreId, va: VirtAddr, tag: MemTag) -> StoreReply {
-        let tr = self.os.translate(self.core_idx, va);
+        let tr = self.os.translate_traced(self.core_idx, va, now, self.tel);
         self.hier.store(
             now,
             core,
@@ -98,9 +127,12 @@ impl MemPort for Port<'_> {
     }
 
     fn ifetch(&mut self, now: Cycle, core: CoreId, va: VirtAddr) -> MemReply {
-        let tr = self.os.translate(self.core_idx, va);
-        self.hier
-            .ifetch(now, core, tr.pa, self.channels, self.mapper, self.tickets)
+        let tr = self.os.translate_traced(self.core_idx, va, now, self.tel);
+        let reply = self
+            .hier
+            .ifetch(now, core, tr.pa, self.channels, self.mapper, self.tickets);
+        self.note_retry(now, core, &reply);
+        reply
     }
 }
 
@@ -110,6 +142,18 @@ impl System {
         cfg: SystemConfig,
         launches: Vec<AppLaunch>,
         policy: Box<dyn PagePlacementPolicy>,
+    ) -> System {
+        System::new_with_telemetry(cfg, launches, policy, Telemetry::disabled())
+    }
+
+    /// [`System::new`] with an observability context attached. Telemetry is
+    /// write-only for the simulation, so results are identical to an
+    /// untraced run; instantiation-time placements are captured at cycle 0.
+    pub fn new_with_telemetry(
+        cfg: SystemConfig,
+        launches: Vec<AppLaunch>,
+        policy: Box<dyn PagePlacementPolicy>,
+        mut tel: Telemetry,
     ) -> System {
         assert_eq!(
             launches.len(),
@@ -209,7 +253,7 @@ impl System {
             for (app, list) in page_lists.iter().enumerate() {
                 for _ in 0..CHUNK {
                     if idx[app] < list.len() {
-                        os.prefault(app, list[idx[app]]);
+                        os.prefault_traced(app, list[idx[app]], &mut tel);
                         idx[app] += 1;
                         progressed = true;
                     }
@@ -221,7 +265,8 @@ impl System {
         }
 
         let n = cores.len();
-        System {
+        let channel_count = channels.len();
+        let mut sys = System {
             cfg,
             cores,
             hiers,
@@ -234,7 +279,87 @@ impl System {
             now: 0,
             measuring: vec![true; n],
             migrator: None,
+            tel,
+            win_next: 0,
+            win_start: 0,
+            win_committed: vec![0; n],
+            win_l2_miss: vec![0; n],
+            win_busy: vec![0; channel_count],
+        };
+        sys.rebaseline_windows();
+        sys
+    }
+
+    /// Reset window-sampling baselines to the machine's current counters
+    /// (at construction and after the warmup statistics reset, which zeroes
+    /// core and channel counters out from under the deltas).
+    fn rebaseline_windows(&mut self) {
+        self.win_start = self.now;
+        self.win_next = match self.tel.window_cycles {
+            Some(w) => self.now.saturating_add(w),
+            None => Cycle::MAX,
+        };
+        for (i, core) in self.cores.iter().enumerate() {
+            self.win_committed[i] = core.committed();
         }
+        for (i, h) in self.hiers.iter().enumerate() {
+            self.win_l2_miss[i] = h.l2_stats().misses;
+        }
+        for (ci, ch) in self.channels.iter().enumerate() {
+            self.win_busy[ci] = ch.stats().busy_cycles;
+        }
+    }
+
+    /// Close the current metrics window: push a snapshot of per-core IPC and
+    /// L2 MPKI, per-channel queue depth and bus occupancy, and frame-pool
+    /// headroom, then open the next window.
+    fn sample_window(&mut self) {
+        let start = self.win_start;
+        let end = self.now;
+        let dt = (end - start) as f64;
+        let mut samples = Vec::new();
+        for (i, core) in self.cores.iter().enumerate() {
+            let committed = core.committed();
+            let dc = committed.saturating_sub(self.win_committed[i]);
+            self.win_committed[i] = committed;
+            samples.push((
+                format!("ipc.core{i}"),
+                if dt > 0.0 { dc as f64 / dt } else { 0.0 },
+            ));
+            let misses = self.hiers[i].l2_stats().misses;
+            let dm = misses.saturating_sub(self.win_l2_miss[i]);
+            self.win_l2_miss[i] = misses;
+            let mpki = if dc > 0 {
+                dm as f64 * 1000.0 / dc as f64
+            } else {
+                0.0
+            };
+            samples.push((format!("l2_mpki.core{i}"), mpki));
+        }
+        for (ci, ch) in self.channels.iter().enumerate() {
+            samples.push((format!("readq.ch{ci}"), ch.read_queue_len() as f64));
+            samples.push((format!("writeq.ch{ci}"), ch.write_queue_len() as f64));
+            let busy = ch.stats().busy_cycles;
+            let db = busy.saturating_sub(self.win_busy[ci]);
+            self.win_busy[ci] = busy;
+            samples.push((
+                format!("bus_util.ch{ci}"),
+                if dt > 0.0 { db as f64 / dt } else { 0.0 },
+            ));
+        }
+        for (kind, free) in self.os.frames().headroom() {
+            samples.push((format!("free_frames.{}", kind.name()), free as f64));
+        }
+        self.tel.push_window(WindowSnapshot {
+            start,
+            end,
+            samples,
+        });
+        self.win_start = end;
+        self.win_next = match self.tel.window_cycles {
+            Some(w) => end.saturating_add(w),
+            None => Cycle::MAX,
+        };
     }
 
     /// Enable dynamic page migration with `cfg`. Call before `run`.
@@ -252,17 +377,30 @@ impl System {
         &self.os
     }
 
+    /// The attached telemetry context.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Take the telemetry context out of the system (end of run), leaving a
+    /// disabled one behind.
+    pub fn take_telemetry(&mut self) -> Telemetry {
+        std::mem::replace(&mut self.tel, Telemetry::disabled())
+    }
+
     /// One simulator cycle: DRAM completions, deferred writes, core
     /// pipelines, event skip. Read latencies are accumulated into `mem`.
     fn step(&mut self, mem: &mut MemMetrics, comps: &mut Vec<Completion>) {
         self.now += 1;
         let now = self.now;
         let n = self.cores.len();
+        let profile = self.tel.host_profiling();
 
         // 1. DRAM completions → cache fills → core wakeups.
         comps.clear();
-        for ch in &mut self.channels {
-            ch.tick(now, comps);
+        let t0 = profile.then(std::time::Instant::now);
+        for (ci, ch) in self.channels.iter_mut().enumerate() {
+            ch.tick_tel(now, comps, &mut self.tel, ci as u32);
         }
         for comp in comps.iter() {
             let ci = comp.core.0 as usize;
@@ -272,6 +410,8 @@ impl System {
                 mem.total_read_latency_cycles += lat;
                 mem.per_core_read_latency[ci] += lat;
             }
+            self.tel
+                .observe_read_latency(comp.queue_cycles, comp.queue_cycles + comp.service_cycles);
             let woken = self.hiers[ci].on_completion(now, comp, &mut self.channels, &self.mapper);
             for t in woken {
                 self.cores[ci].complete(t, now);
@@ -280,9 +420,13 @@ impl System {
                 m.record_read(comp.line);
             }
         }
+        if let Some(t) = t0 {
+            self.tel.components.dram += t.elapsed();
+        }
 
         // Page-migration epoch boundary.
         if self.migrator.as_ref().is_some_and(|m| m.epoch_due(now)) {
+            let t0 = profile.then(std::time::Instant::now);
             let mut m = self.migrator.take().expect("checked above");
             m.run_epoch(
                 now,
@@ -291,15 +435,32 @@ impl System {
                 &mut self.channels,
                 &self.mapper,
             );
+            let s = m.stats();
+            self.tel.record(
+                now,
+                Event::MigrationEpoch {
+                    epoch: s.epochs,
+                    promotions: s.promotions,
+                    demotions: s.demotions,
+                },
+            );
             self.migrator = Some(m);
+            if let Some(t) = t0 {
+                self.tel.components.vm += t.elapsed();
+            }
         }
 
         // 2. Retry deferred writebacks/store-fills.
+        let t0 = profile.then(std::time::Instant::now);
         for h in &mut self.hiers {
             h.flush_deferred(now, &mut self.channels, &self.mapper);
         }
+        if let Some(t) = t0 {
+            self.tel.components.cache += t.elapsed();
+        }
 
         // 3. Core pipelines.
+        let t0 = profile.then(std::time::Instant::now);
         for i in 0..n {
             let mut port = Port {
                 hier: &mut self.hiers[i],
@@ -308,8 +469,17 @@ impl System {
                 os: &mut self.os,
                 core_idx: i,
                 tickets: &mut self.tickets,
+                tel: &mut self.tel,
             };
             self.cores[i].tick(now, &mut port, &mut self.streams[i]);
+        }
+        if let Some(t) = t0 {
+            self.tel.components.cpu += t.elapsed();
+        }
+
+        // 3½. Periodic metrics window.
+        if self.tel.enabled() && self.now >= self.win_next {
+            self.sample_window();
         }
 
         // 4. Event skip: if every core is stalled on memory, jump to the
@@ -379,6 +549,9 @@ impl System {
                 per_core_read_latency: vec![0; n],
                 ..MemMetrics::default()
             };
+            // The resets zeroed the counters the window deltas are taken
+            // against; restart the current window from here.
+            self.rebaseline_windows();
         }
         let measure_start = self.now;
 
@@ -390,6 +563,15 @@ impl System {
                 if slot.is_none() && self.cores[i].committed() >= instr_target {
                     *slot = Some((self.cores[i].stats().clone(), self.now - measure_start));
                     self.measuring[i] = false;
+                    let committed = self.cores[i].committed();
+                    self.tel.record(
+                        self.now,
+                        Event::CoreWindowFrozen {
+                            core: i as u32,
+                            committed,
+                            window_cycles: self.now - measure_start,
+                        },
+                    );
                 }
             }
         }

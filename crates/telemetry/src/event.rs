@@ -1,0 +1,252 @@
+//! Cycle-stamped structured events emitted by the simulator.
+//!
+//! Every event is a plain value: recording one mutates only the telemetry
+//! sink, never the simulated machine, so runs with and without telemetry are
+//! bit-identical. Events carry raw identifiers (core/channel/app indices)
+//! rather than references so sinks can buffer or serialize them freely.
+
+use moca_common::{Cycle, ModuleKind};
+use serde::Serialize;
+
+/// Page-use intent as seen by telemetry — a mirror of the VM layer's
+/// `PageIntent`, kept here so this crate depends only on `moca-common`.
+/// The simulator converts at the emission site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum EventIntent {
+    /// Latency-sensitive heap partition.
+    LatHeap,
+    /// Bandwidth-sensitive heap partition.
+    BwHeap,
+    /// Non-intensive (power) heap partition.
+    PowHeap,
+    /// Stack page.
+    Stack,
+    /// Code page.
+    Code,
+    /// Global-data page.
+    Data,
+}
+
+/// One structured simulator event. The cycle stamp travels alongside (see
+/// [`TimedEvent`] and [`crate::Sink::emit`]).
+#[derive(Debug, Clone, Serialize)]
+pub enum Event {
+    /// First touch of an unmapped virtual page entered the fault handler.
+    PageFault {
+        /// Faulting application.
+        app: u32,
+        /// Virtual page number.
+        vpn: u64,
+        /// What the page is used for.
+        intent: EventIntent,
+    },
+    /// The placement policy picked a physical frame for a faulting page.
+    Placement {
+        /// Owning application.
+        app: u32,
+        /// Virtual page number.
+        vpn: u64,
+        /// Physical frame chosen.
+        pfn: u64,
+        /// Module technology the frame lives on.
+        kind: ModuleKind,
+        /// What the page is used for.
+        intent: EventIntent,
+    },
+    /// The page landed on a different module than the policy's first
+    /// preference (the §IV-D fallback chain engaged).
+    FallbackAllocation {
+        /// Owning application.
+        app: u32,
+        /// Virtual page number.
+        vpn: u64,
+        /// Module the page actually landed on.
+        got: ModuleKind,
+        /// Module the policy would have preferred.
+        preferred: ModuleKind,
+    },
+    /// A demand miss was rejected because every L2 MSHR is in use; the core
+    /// retries the access next cycle.
+    MshrFullStall {
+        /// Stalling core.
+        core: u32,
+    },
+    /// An activate had to close an already-open row first (row-buffer
+    /// conflict: PRE + ACT instead of a CAS hit).
+    BankConflict {
+        /// Channel index.
+        channel: u32,
+        /// Bank index within the channel.
+        bank: u32,
+    },
+    /// A refresh window began, blocking the channel for `cycles` (tRFC).
+    RefreshStart {
+        /// Channel index.
+        channel: u32,
+        /// Length of the blocked window in cycles.
+        cycles: Cycle,
+    },
+    /// Offline classification verdict for an application (`object: None`)
+    /// or one of its memory objects.
+    ClassificationVerdict {
+        /// Benchmark name.
+        app: String,
+        /// Object index in spec order, `None` for the app-level verdict.
+        object: Option<u32>,
+        /// Class letter (`L`/`B`/`N`).
+        class: char,
+    },
+    /// A core reached its instruction target: its statistics freeze here
+    /// while it keeps running to preserve contention.
+    CoreWindowFrozen {
+        /// The core.
+        core: u32,
+        /// Instructions committed at the freeze point.
+        committed: u64,
+        /// Measured-window length in cycles.
+        window_cycles: Cycle,
+    },
+    /// A dynamic page-migration epoch completed (cumulative counters).
+    MigrationEpoch {
+        /// Epochs completed so far.
+        epoch: u64,
+        /// Pages promoted so far.
+        promotions: u64,
+        /// Pages demoted so far.
+        demotions: u64,
+    },
+}
+
+impl Event {
+    /// Number of event kinds (sizes the per-kind counter table).
+    pub const KIND_COUNT: usize = 9;
+
+    /// Stable snake_case names, indexed by [`Event::kind_index`].
+    pub const KIND_NAMES: [&'static str; Self::KIND_COUNT] = [
+        "page_fault",
+        "placement",
+        "fallback_allocation",
+        "mshr_full_stall",
+        "bank_conflict",
+        "refresh_start",
+        "classification_verdict",
+        "core_window_frozen",
+        "migration_epoch",
+    ];
+
+    /// Dense index of this event's kind.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Event::PageFault { .. } => 0,
+            Event::Placement { .. } => 1,
+            Event::FallbackAllocation { .. } => 2,
+            Event::MshrFullStall { .. } => 3,
+            Event::BankConflict { .. } => 4,
+            Event::RefreshStart { .. } => 5,
+            Event::ClassificationVerdict { .. } => 6,
+            Event::CoreWindowFrozen { .. } => 7,
+            Event::MigrationEpoch { .. } => 8,
+        }
+    }
+
+    /// Stable snake_case name of this event's kind.
+    pub fn kind_name(&self) -> &'static str {
+        Self::KIND_NAMES[self.kind_index()]
+    }
+
+    /// Chrome-trace track (tid) the event renders on: cores on 0..N,
+    /// channels on 100+, everything else on track 99.
+    pub fn track(&self) -> u32 {
+        match self {
+            Event::PageFault { app, .. }
+            | Event::Placement { app, .. }
+            | Event::FallbackAllocation { app, .. } => *app,
+            Event::MshrFullStall { core } | Event::CoreWindowFrozen { core, .. } => *core,
+            Event::BankConflict { channel, .. } | Event::RefreshStart { channel, .. } => {
+                100 + *channel
+            }
+            Event::ClassificationVerdict { .. } | Event::MigrationEpoch { .. } => 99,
+        }
+    }
+}
+
+/// An event plus the cycle it occurred at.
+#[derive(Debug, Clone, Serialize)]
+pub struct TimedEvent {
+    /// Simulated cycle of the event (1 cycle = 1 ns at the 1 GHz core).
+    pub at: Cycle,
+    /// The event itself.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_align_with_indices() {
+        let samples = [
+            Event::PageFault {
+                app: 0,
+                vpn: 1,
+                intent: EventIntent::Stack,
+            },
+            Event::Placement {
+                app: 0,
+                vpn: 1,
+                pfn: 2,
+                kind: ModuleKind::Hbm,
+                intent: EventIntent::BwHeap,
+            },
+            Event::FallbackAllocation {
+                app: 0,
+                vpn: 1,
+                got: ModuleKind::Hbm,
+                preferred: ModuleKind::Rldram3,
+            },
+            Event::MshrFullStall { core: 0 },
+            Event::BankConflict {
+                channel: 0,
+                bank: 1,
+            },
+            Event::RefreshStart {
+                channel: 0,
+                cycles: 160,
+            },
+            Event::ClassificationVerdict {
+                app: "mcf".into(),
+                object: None,
+                class: 'L',
+            },
+            Event::CoreWindowFrozen {
+                core: 0,
+                committed: 1,
+                window_cycles: 2,
+            },
+            Event::MigrationEpoch {
+                epoch: 1,
+                promotions: 0,
+                demotions: 0,
+            },
+        ];
+        assert_eq!(samples.len(), Event::KIND_COUNT);
+        for (i, e) in samples.iter().enumerate() {
+            assert_eq!(e.kind_index(), i);
+            assert_eq!(e.kind_name(), Event::KIND_NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn events_serialize_to_tagged_objects() {
+        let e = Event::BankConflict {
+            channel: 2,
+            bank: 5,
+        };
+        let s = serde_json::to_string(&e).unwrap();
+        assert!(s.contains("\"BankConflict\""), "{s}");
+        assert!(
+            s.contains("\"channel\": 2") || s.contains("\"channel\":2"),
+            "{s}"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Progress reporting for long repro runs: timestamped lines to stderr and,
+//! optionally, to a log file so detached runs can be tailed.
+
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+/// Emits `[repro +12.3s] message` lines to stderr and (if a path was given
+/// and writable) to a progress log. File problems never abort the run: they
+/// are reported once and the reporter falls back to stderr only.
+#[derive(Debug)]
+pub struct ProgressReporter {
+    t0: Instant,
+    file: Option<std::fs::File>,
+}
+
+impl ProgressReporter {
+    /// Reporter writing to stderr plus, if `log_path` is given, an appended
+    /// log file (parent directories are created as needed).
+    pub fn new(log_path: Option<&Path>) -> ProgressReporter {
+        let file = log_path.and_then(|path| {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!(
+                            "repro: cannot create log directory {}: {e}; \
+                             progress goes to stderr only",
+                            dir.display()
+                        );
+                        return None;
+                    }
+                }
+            }
+            match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                Ok(f) => Some(f),
+                Err(e) => {
+                    eprintln!(
+                        "repro: cannot open progress log {}: {e}; \
+                         progress goes to stderr only",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        });
+        ProgressReporter {
+            t0: Instant::now(),
+            file,
+        }
+    }
+
+    /// Report one progress line.
+    pub fn step(&mut self, msg: &str) {
+        let line = format!("[repro +{:.1}s] {msg}", self.t0.elapsed().as_secs_f64());
+        eprintln!("{line}");
+        if let Some(f) = &mut self.file {
+            if writeln!(f, "{line}").and_then(|()| f.flush()).is_err() {
+                eprintln!("repro: progress log write failed; continuing on stderr only");
+                self.file = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logs_to_file_and_survives_bad_path() {
+        let dir = std::env::temp_dir().join("moca_tel_progress_test");
+        let path = dir.join("sub").join("progress.log");
+        let mut rep = ProgressReporter::new(Some(&path));
+        rep.step("phase one");
+        rep.step("phase two");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 2);
+        assert!(body.contains("phase one"));
+        assert!(body.lines().all(|l| l.starts_with("[repro +")));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // An unopenable path degrades to stderr-only, not a panic.
+        let bad = Path::new("/proc/definitely/not/writable/progress.log");
+        let mut rep = ProgressReporter::new(Some(bad));
+        rep.step("still alive");
+    }
+}

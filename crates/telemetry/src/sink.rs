@@ -1,0 +1,208 @@
+//! Event sinks: where cycle-stamped events go.
+//!
+//! The simulator emits through the [`Sink`] trait; the implementation picks
+//! the cost model. [`NullSink`] discards (the default — zero overhead),
+//! [`RingSink`] keeps the most recent N events in memory for post-run export,
+//! [`JsonlSink`] streams every event to disk as one JSON object per line.
+
+use crate::event::{Event, TimedEvent};
+use moca_common::Cycle;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::Path;
+
+/// Receives cycle-stamped events. Implementations must be purely
+/// observational: emitting may never influence the simulation.
+pub trait Sink {
+    /// Record one event at cycle `at`.
+    fn emit(&mut self, at: Cycle, event: Event);
+
+    /// Take every buffered event out of the sink. Streaming sinks (which
+    /// hold nothing) return an empty vector.
+    fn drain(&mut self) -> Vec<TimedEvent> {
+        Vec::new()
+    }
+
+    /// Flush buffered output to its destination (streaming sinks).
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&mut self, _at: Cycle, _event: Event) {}
+}
+
+/// Bounded in-memory ring buffer: keeps the most recent `capacity` events
+/// and counts how many older ones were overwritten.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    buf: VecDeque<TimedEvent>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Ring holding at most `capacity` events (`capacity` must be > 0).
+    pub fn new(capacity: usize) -> RingSink {
+        assert!(capacity > 0, "ring sink needs capacity");
+        RingSink {
+            capacity,
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate the buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.buf.iter()
+    }
+}
+
+impl Sink for RingSink {
+    fn emit(&mut self, at: Cycle, event: Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(TimedEvent { at, event });
+    }
+
+    fn drain(&mut self) -> Vec<TimedEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+/// Streams events to a file as JSON Lines: `{"at":<cycle>,"event":{...}}`.
+///
+/// Creates the parent directory if missing. I/O errors after a successful
+/// open are reported once on stderr and further events are discarded — a
+/// full disk must not abort a long simulation.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: std::io::BufWriter<std::fs::File>,
+    failed: bool,
+    written: u64,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path`, making parent directories as needed.
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| {
+                    std::io::Error::new(
+                        e.kind(),
+                        format!("cannot create trace directory {}: {e}", dir.display()),
+                    )
+                })?;
+            }
+        }
+        let file = std::fs::File::create(path).map_err(|e| {
+            std::io::Error::new(
+                e.kind(),
+                format!("cannot create event log {}: {e}", path.display()),
+            )
+        })?;
+        Ok(JsonlSink {
+            out: std::io::BufWriter::new(file),
+            failed: false,
+            written: 0,
+        })
+    }
+
+    /// Events successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&mut self, at: Cycle, event: Event) {
+        if self.failed {
+            return;
+        }
+        let line = serde_json::to_string(&TimedEvent { at, event }).expect("events serialize");
+        if let Err(e) = writeln!(self.out, "{line}") {
+            eprintln!("telemetry: event log write failed, disabling sink: {e}");
+            self.failed = true;
+            return;
+        }
+        self.written += 1;
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventIntent;
+
+    fn ev(core: u32) -> Event {
+        Event::MshrFullStall { core }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let mut ring = RingSink::new(3);
+        for i in 0..5 {
+            ring.emit(i as Cycle, ev(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let ats: Vec<Cycle> = ring.events().map(|t| t.at).collect();
+        assert_eq!(ats, vec![2, 3, 4]);
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 3);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_line() {
+        let dir = std::env::temp_dir().join("moca_tel_jsonl_test");
+        let path = dir.join("nested").join("events.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.emit(7, ev(0));
+        sink.emit(
+            9,
+            Event::PageFault {
+                app: 1,
+                vpn: 42,
+                intent: EventIntent::Code,
+            },
+        );
+        sink.flush().unwrap();
+        assert_eq!(sink.written(), 2);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = serde_json::parse(line).unwrap();
+            assert!(v.get("at").and_then(|a| a.as_u64()).is_some(), "{line}");
+            assert!(v.get("event").is_some(), "{line}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

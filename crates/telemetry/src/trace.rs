@@ -1,0 +1,198 @@
+//! Chrome-trace / Perfetto JSON export.
+//!
+//! Produces the Trace Event Format JSON object (`{"traceEvents": [...]}`)
+//! that `chrome://tracing`, Perfetto UI, and Speedscope all load. Simulated
+//! activity renders on pid 0 (cycle stamps become microseconds: 1 cycle =
+//! 1 ns at the 1 GHz core, so ts = cycles / 1000); host self-profiling
+//! spans render on pid 1 in real wall time.
+
+use crate::event::TimedEvent;
+use crate::profiler::HostProfiler;
+use crate::registry::Registry;
+use moca_common::Cycle;
+use serde::{Serialize, Value};
+use std::io::Write;
+use std::path::Path;
+
+/// Simulation process id in the trace.
+const PID_SIM: u64 = 0;
+/// Host (repro driver) process id in the trace.
+const PID_HOST: u64 = 1;
+
+fn us(cycles: Cycle) -> Value {
+    Value::F64(cycles as f64 / 1000.0)
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn metadata(pid: u64, process_name: &str) -> Value {
+    obj(vec![
+        ("name", Value::Str("process_name".into())),
+        ("ph", Value::Str("M".into())),
+        ("pid", Value::U64(pid)),
+        ("tid", Value::U64(0)),
+        ("args", obj(vec![("name", Value::Str(process_name.into()))])),
+    ])
+}
+
+fn instant(te: &TimedEvent) -> Value {
+    // The derived serialization is externally tagged ({"Variant": {fields}});
+    // unwrap the tag so the fields land directly in "args".
+    let payload = match te.event.to_value() {
+        Value::Object(mut fields) if fields.len() == 1 => fields.pop().unwrap().1,
+        other => other,
+    };
+    obj(vec![
+        ("name", Value::Str(te.event.kind_name().into())),
+        ("cat", Value::Str("sim".into())),
+        ("ph", Value::Str("i".into())),
+        ("s", Value::Str("t".into())),
+        ("ts", us(te.at)),
+        ("pid", Value::U64(PID_SIM)),
+        ("tid", Value::U64(te.event.track() as u64)),
+        ("args", payload),
+    ])
+}
+
+/// Write the combined trace: one instant per captured event, one counter
+/// track per windowed metric, and one complete-span per host phase.
+///
+/// Creates the parent directory if missing; errors carry the path.
+pub fn write_chrome_trace(
+    path: &Path,
+    events: &[TimedEvent],
+    registry: &Registry,
+    host: Option<&HostProfiler>,
+) -> std::io::Result<()> {
+    let mut trace_events: Vec<Value> = Vec::new();
+    trace_events.push(metadata(PID_SIM, "moca simulation"));
+    if host.is_some() {
+        trace_events.push(metadata(PID_HOST, "repro host"));
+    }
+
+    for te in events {
+        trace_events.push(instant(te));
+    }
+
+    for w in registry.windows() {
+        for (name, value) in &w.samples {
+            trace_events.push(obj(vec![
+                ("name", Value::Str(name.clone())),
+                ("ph", Value::Str("C".into())),
+                ("ts", us(w.end)),
+                ("pid", Value::U64(PID_SIM)),
+                ("tid", Value::U64(0)),
+                ("args", obj(vec![(name.as_str(), Value::F64(*value))])),
+            ]));
+        }
+    }
+
+    if let Some(prof) = host {
+        for span in prof.spans() {
+            trace_events.push(obj(vec![
+                ("name", Value::Str(span.label.clone())),
+                ("cat", Value::Str("host".into())),
+                ("ph", Value::Str("X".into())),
+                ("ts", Value::F64(span.start.as_secs_f64() * 1e6)),
+                ("dur", Value::F64(span.duration.as_secs_f64() * 1e6)),
+                ("pid", Value::U64(PID_HOST)),
+                ("tid", Value::U64(0)),
+            ]));
+        }
+    }
+
+    let root = obj(vec![
+        ("traceEvents", Value::Array(trace_events)),
+        ("displayTimeUnit", Value::Str("ns".into())),
+    ]);
+    let body = serde_json::to_string(&root)
+        .map_err(|e| std::io::Error::other(format!("trace serialization failed: {e}")))?;
+
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("cannot create trace directory {}: {e}", dir.display()),
+                )
+            })?;
+        }
+    }
+    let mut f = std::fs::File::create(path).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("cannot create trace file {}: {e}", path.display()),
+        )
+    })?;
+    f.write_all(body.as_bytes()).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("cannot write trace file {}: {e}", path.display()),
+        )
+    })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::registry::WindowSnapshot;
+
+    #[test]
+    fn trace_file_is_valid_chrome_json() {
+        let dir = std::env::temp_dir().join("moca_tel_trace_test");
+        let path = dir.join("deep").join("out.trace.json");
+
+        let events = vec![
+            TimedEvent {
+                at: 1_500,
+                event: Event::MshrFullStall { core: 2 },
+            },
+            TimedEvent {
+                at: 2_000,
+                event: Event::BankConflict {
+                    channel: 1,
+                    bank: 7,
+                },
+            },
+        ];
+        let mut reg = Registry::new();
+        reg.push_window(WindowSnapshot {
+            start: 0,
+            end: 50_000,
+            samples: vec![("ipc.core0".into(), 1.25)],
+        });
+        let mut prof = HostProfiler::new();
+        prof.time("phase", || ());
+
+        write_chrome_trace(&path, &events, &reg, Some(&prof)).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let v = serde_json::parse(&body).unwrap();
+        let list = v.get("traceEvents").and_then(|t| t.as_array()).unwrap();
+        // 2 metadata + 2 instants + 1 counter + 1 host span.
+        assert_eq!(list.len(), 6);
+        for e in list {
+            assert!(e.get("name").is_some());
+            assert!(e.get("pid").is_some());
+            let ph = e.get("ph").and_then(|p| p.as_str()).unwrap();
+            assert!(["M", "i", "C", "X"].contains(&ph), "unexpected ph {ph}");
+        }
+        // The instant's args carry the unwrapped event fields.
+        let stall = list
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("mshr_full_stall"))
+            .unwrap();
+        assert_eq!(
+            stall
+                .get("args")
+                .and_then(|a| a.get("core"))
+                .and_then(|c| c.as_u64()),
+            Some(2)
+        );
+        assert!((stall.get("ts").and_then(|t| t.as_f64()).unwrap() - 1.5).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

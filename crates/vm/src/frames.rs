@@ -107,6 +107,16 @@ impl FrameSpace {
             .sum()
     }
 
+    /// Free-frame headroom per module kind actually present in the machine,
+    /// in [`ModuleKind::ALL`] order. Feeds telemetry's frame-pool gauges.
+    pub fn headroom(&self) -> Vec<(ModuleKind, u64)> {
+        ModuleKind::ALL
+            .iter()
+            .filter(|&&k| self.regions.iter().any(|r| r.kind == k))
+            .map(|&k| (k, self.free_of_kind(k)))
+            .collect()
+    }
+
     /// Allocate one frame from region `idx`, if it has space.
     pub fn alloc_in_region(&mut self, idx: usize) -> Option<u64> {
         if let Some(pfn) = self.freed[idx].pop() {
@@ -289,6 +299,28 @@ mod tests {
         assert_eq!(s.free_of_kind(ModuleKind::Ddr3), 1);
         let (pfn2, _) = s.alloc_by_preference(&[ModuleKind::Ddr3]).unwrap();
         assert_eq!(pfn, pfn2);
+    }
+
+    #[test]
+    fn headroom_reports_present_kinds_only() {
+        let mut s = space();
+        let h = s.headroom();
+        // Ddr3 is absent from this machine; the other three kinds appear.
+        assert_eq!(h.len(), 3);
+        assert!(h.iter().all(|&(k, _)| k != ModuleKind::Ddr3));
+        let rl_before = h
+            .iter()
+            .find(|&&(k, _)| k == ModuleKind::Rldram3)
+            .unwrap()
+            .1;
+        s.alloc_by_preference(&[ModuleKind::Rldram3]).unwrap();
+        let rl_after = s
+            .headroom()
+            .iter()
+            .find(|&&(k, _)| k == ModuleKind::Rldram3)
+            .unwrap()
+            .1;
+        assert_eq!(rl_after, rl_before - 1);
     }
 
     #[test]

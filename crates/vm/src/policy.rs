@@ -46,6 +46,16 @@ pub trait PagePlacementPolicy {
 
     /// Policy name for reports.
     fn name(&self) -> &'static str;
+
+    /// The module kind this policy would ideally place the page on, before
+    /// any capacity fallback. Purely informational — telemetry compares it
+    /// against the frame actually returned by [`place`](Self::place) to flag
+    /// fallback allocations. Policies without a meaningful notion of a
+    /// preferred module (e.g. first-touch) return `None`.
+    fn preferred(&self, app: AppId, intent: PageIntent) -> Option<ModuleKind> {
+        let _ = (app, intent);
+        None
+    }
 }
 
 /// Trivial policy: first-touch over every region in layout order, ignoring

@@ -1,0 +1,172 @@
+//! Observability integration tests: telemetry must not perturb the
+//! simulation, windowed metrics must be captured, and the exported trace
+//! must be valid Chrome-trace JSON.
+
+use moca::pipeline::{Pipeline, PolicyKind};
+use moca_sim::config::{HeterogeneousLayout, MemSystemConfig};
+use moca_telemetry::{write_chrome_trace, JsonlSink, RingSink, Telemetry};
+use serde_json::Value;
+use std::path::PathBuf;
+
+fn heter() -> MemSystemConfig {
+    MemSystemConfig::Heterogeneous(HeterogeneousLayout::config1())
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("moca-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Key determinism guarantee: a run with full telemetry produces
+/// bit-identical simulation results to a run with telemetry disabled.
+#[test]
+fn telemetry_on_and_off_give_bit_identical_results() {
+    let fingerprint = |tel: Telemetry| {
+        let mut p = Pipeline::quick();
+        let (r, tel) = p.evaluate_with_telemetry(&["mcf"], heter(), PolicyKind::Moca, tel);
+        (
+            (
+                r.runtime_cycles,
+                r.mem.reads,
+                r.mem.total_read_latency_cycles,
+                r.per_core[0].stats.committed,
+                r.placement.total_pages(),
+            ),
+            tel,
+        )
+    };
+    let (off, _) = fingerprint(Telemetry::disabled());
+    let (on, tel) = fingerprint(
+        Telemetry::with_sink(Box::new(RingSink::new(100_000)))
+            .with_window(10_000)
+            .with_host_profiling(),
+    );
+    assert_eq!(off, on, "telemetry must not perturb the simulation");
+    assert!(tel.events_recorded() > 0, "instrumented run saw no events");
+}
+
+/// The traced run records the event kinds the instrumentation promises:
+/// page faults and placements always happen, windows get sampled, and the
+/// DRAM read-latency histogram fills.
+#[test]
+fn instrumented_run_captures_events_windows_and_histograms() {
+    let mut p = Pipeline::quick();
+    let tel = Telemetry::with_sink(Box::new(RingSink::new(100_000))).with_window(10_000);
+    let (r, mut tel) = p.evaluate_with_telemetry(&["mcf"], heter(), PolicyKind::Moca, tel);
+    assert!(r.runtime_cycles > 0);
+
+    let faults = tel.registry.counter_value_by_name("events.page_fault");
+    let placements = tel.registry.counter_value_by_name("events.placement");
+    assert!(faults.unwrap_or(0) > 0, "no page-fault events counted");
+    assert!(placements.unwrap_or(0) > 0, "no placement events counted");
+    assert_eq!(
+        faults, placements,
+        "every page fault must be resolved by exactly one placement"
+    );
+
+    assert!(
+        !tel.registry.windows().is_empty(),
+        "a {}-cycle run should close at least one 10k-cycle window",
+        r.runtime_cycles
+    );
+    let w = &tel.registry.windows()[0];
+    assert!(w.end > w.start);
+    assert!(
+        w.samples.iter().any(|(k, _)| k == "ipc.core0"),
+        "window samples must include per-core IPC"
+    );
+    assert!(
+        w.samples.iter().any(|(k, _)| k.starts_with("free_frames.")),
+        "window samples must include frame-pool headroom"
+    );
+
+    let h = tel
+        .registry
+        .histogram_by_name("dram.read_latency_cycles")
+        .expect("read-latency histogram registered");
+    assert!(h.count() > 0, "no read latencies observed");
+    assert!(h.mean().unwrap() > 0.0);
+    assert!(h.quantile(0.5).unwrap() <= h.quantile(0.99).unwrap());
+
+    let events = tel.drain_events();
+    assert!(!events.is_empty());
+    assert!(
+        events.windows(2).all(|p| p[0].at <= p[1].at),
+        "drained events must be cycle-ordered"
+    );
+}
+
+/// The exported file is valid Chrome-trace JSON: a `traceEvents` array where
+/// every element carries `name`/`ph`/`pid`, with the phases we emit.
+#[test]
+fn exported_trace_is_valid_chrome_trace_json() {
+    let mut p = Pipeline::quick();
+    p.classified("mcf"); // profile + classify so verdicts exist before the run
+    let mut tel = Telemetry::with_sink(Box::new(RingSink::new(100_000))).with_window(10_000);
+    p.emit_classifications(&mut tel);
+    let (_, mut tel) = p.evaluate_with_telemetry(&["mcf"], heter(), PolicyKind::Moca, tel);
+
+    let path = scratch("trace.json");
+    write_chrome_trace(&path, &tel.drain_events(), &tel.registry, None).unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let root = serde_json::parse(&text).expect("trace must be parseable JSON");
+    assert_eq!(
+        root.get("displayTimeUnit").and_then(Value::as_str),
+        Some("ns")
+    );
+    let events = root
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(events.len() > 10, "trace should not be trivially empty");
+
+    let mut seen_instant = false;
+    let mut seen_counter = false;
+    for ev in events {
+        assert!(ev.get("name").and_then(Value::as_str).is_some());
+        assert!(ev.get("pid").is_some());
+        let ph = ev.get("ph").and_then(Value::as_str).unwrap();
+        assert!(
+            matches!(ph, "M" | "i" | "C" | "X"),
+            "unexpected phase {ph:?}"
+        );
+        match ph {
+            "i" => {
+                seen_instant = true;
+                assert!(ev.get("ts").is_some(), "instant events need a timestamp");
+            }
+            "C" => seen_counter = true,
+            _ => {}
+        }
+    }
+    assert!(seen_instant, "trace must contain instant (event) entries");
+    assert!(seen_counter, "trace must contain counter entries");
+
+    // Classification verdicts from the pre-run emit land at cycle 0.
+    assert!(events
+        .iter()
+        .any(|ev| { ev.get("name").and_then(Value::as_str) == Some("classification_verdict") }));
+}
+
+/// The JSONL sink streams one JSON object per line while the run progresses.
+#[test]
+fn jsonl_sink_streams_during_a_real_run() {
+    let path = scratch("events.jsonl");
+    let sink = JsonlSink::create(&path).unwrap();
+    let mut p = Pipeline::quick();
+    let tel = Telemetry::with_sink(Box::new(sink));
+    let (_, mut tel) = p.evaluate_with_telemetry(&["mcf"], heter(), PolicyKind::Moca, tel);
+    tel.flush().unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines = 0;
+    for line in text.lines() {
+        let v = serde_json::parse(line).expect("each line must be a JSON object");
+        assert!(v.get("at").is_some(), "timed events carry a cycle stamp");
+        assert!(v.get("event").is_some());
+        lines += 1;
+    }
+    assert!(lines > 0, "no events streamed to the JSONL file");
+}
