@@ -1,0 +1,547 @@
+//! `moca-lint`: repo-native static analysis for the MOCA simulator.
+//!
+//! The simulator's headline guarantee — a run is a bit-identical pure
+//! function of its configuration — rests on source-level conventions that
+//! `rustc` cannot check: no hash-ordered collections in simulated state, no
+//! wall-clock reads or threads on the simulated path, all randomness through
+//! the seeded [`moca_common::rng`], and no silent integer narrowing of
+//! cycle- or address-typed values. This crate enforces those conventions
+//! with a plain-Rust line/token scanner (no external parser — the workspace
+//! builds offline against shims), plus a `check-model` pass that validates
+//! the DRAM timing presets and the virtual address-space layout against
+//! their inter-parameter constraints.
+//!
+//! ## Rules
+//!
+//! | rule             | scope                          | forbids |
+//! |------------------|--------------------------------|---------|
+//! | `det-map`        | simulated-path crates          | `std::collections::HashMap` / `HashSet` (use [`moca_common::det`]) |
+//! | `wall-clock`     | all except `telemetry`/`bench` | `std::time::Instant` / `SystemTime`, thread spawning |
+//! | `unseeded-rng`   | everywhere                     | ambient randomness (`thread_rng`, `from_entropy`, …) |
+//! | `narrowing-cast` | simulated-path crates          | bare `as u32`/`as usize`/… on cycle/address-flavored expressions (use [`moca_common::units::narrow_u32`]) |
+//!
+//! A finding is suppressed by an inline pragma on the same line or the line
+//! above — `// moca-lint: allow(<rule>): <justification>` (the justification
+//! is mandatory) — or by an entry in the committed baseline file
+//! (`lint-baseline.txt`), which exists for incremental burn-down and is
+//! empty in a healthy tree.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose source participates in simulated state: hash-ordered
+/// collections and silent narrowing are forbidden here.
+pub const SIM_PATH_CRATES: &[&str] = &["sim", "dram", "vm", "core", "cpu", "cache"];
+
+/// Crates that legitimately touch the host clock and threads (observability
+/// and benchmarking are host-side by design).
+pub const WALL_CLOCK_EXEMPT_CRATES: &[&str] = &["telemetry", "bench"];
+
+/// The rule catalog: `(name, short description)`.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "det-map",
+        "std HashMap/HashSet forbidden in simulated-path crates; use moca_common::det",
+    ),
+    (
+        "wall-clock",
+        "std::time::Instant/SystemTime and thread spawning forbidden outside telemetry/bench",
+    ),
+    (
+        "unseeded-rng",
+        "randomness must flow through moca_common::rng (seeded, deterministic)",
+    ),
+    (
+        "narrowing-cast",
+        "bare `as` narrowing on cycle/address-typed expressions; use moca_common::units::narrow_*",
+    ),
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Path relative to the workspace root.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}:{}: {}\n    {}",
+            self.rule,
+            self.path.display(),
+            self.line,
+            self.message,
+            self.excerpt
+        )
+    }
+}
+
+/// Baseline key of a finding: `rule|path|trimmed-line`. Content-addressed
+/// (no line number) so unrelated edits above a baselined finding do not
+/// invalidate the entry.
+pub fn baseline_key(f: &Finding) -> String {
+    format!("{}|{}|{}", f.rule, f.path.display(), f.excerpt)
+}
+
+/// Parse a baseline file: one key per line, `#` comments and blank lines
+/// ignored. A missing file is an empty baseline.
+pub fn load_baseline(path: &Path) -> BTreeSet<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return BTreeSet::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Strip comments and string/char-literal *contents* from Rust source,
+/// returning one entry per input line with code structure preserved (so
+/// token positions still correspond to the original lines). Handles line
+/// comments, nested block comments, string literals with escapes, raw
+/// strings (`r"…"`, `r#"…"#`), and char literals vs. lifetimes.
+pub fn strip_code(src: &str) -> Vec<String> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Code,
+        Block(u32),
+        Str,
+        RawStr(u32),
+    }
+    let mut out = Vec::new();
+    let mut state = State::Code;
+    for line in src.lines() {
+        let b: Vec<char> = line.chars().collect();
+        let mut kept = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < b.len() {
+            match state {
+                State::Block(depth) => {
+                    if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        state = State::Block(depth + 1);
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if b[i] == '\\' {
+                        i += 2;
+                    } else if b[i] == '"' {
+                        state = State::Code;
+                        kept.push('"');
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if b[i] == '"' {
+                        let n = hashes as usize;
+                        if b[i + 1..].len() >= n && b[i + 1..i + 1 + n].iter().all(|&c| c == '#') {
+                            state = State::Code;
+                            kept.push('"');
+                            i += 1 + n;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                State::Code => {
+                    let c = b[i];
+                    if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+                        break; // rest of line is a comment
+                    }
+                    if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        state = State::Block(1);
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        state = State::Str;
+                        kept.push('"');
+                        i += 1;
+                        continue;
+                    }
+                    if c == 'r' && i + 1 < b.len() && (b[i + 1] == '"' || b[i + 1] == '#') {
+                        // Possible raw string: r", r#", r##", …
+                        let mut j = i + 1;
+                        let mut hashes = 0u32;
+                        while j < b.len() && b[j] == '#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if j < b.len() && b[j] == '"' {
+                            state = State::RawStr(hashes);
+                            kept.push('"');
+                            i = j + 1;
+                            continue;
+                        }
+                        kept.push(c);
+                        i += 1;
+                        continue;
+                    }
+                    if c == '\'' {
+                        // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                        if i + 1 < b.len() && b[i + 1] == '\\' {
+                            // Escaped char literal: skip to closing quote.
+                            let mut j = i + 2;
+                            while j < b.len() && b[j] != '\'' {
+                                j += 1;
+                            }
+                            i = j + 1;
+                            continue;
+                        }
+                        if i + 2 < b.len() && b[i + 2] == '\'' {
+                            i += 3; // plain char literal 'x'
+                            continue;
+                        }
+                        // Lifetime: keep nothing, skip the quote.
+                        i += 1;
+                        continue;
+                    }
+                    kept.push(c);
+                    i += 1;
+                }
+            }
+        }
+        // An unterminated line comment never spans lines; strings and block
+        // comments carry their state into the next line.
+        out.push(kept);
+    }
+    out
+}
+
+/// True if `token` occurs in `line` delimited by non-identifier characters.
+pub fn has_token(line: &str, token: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(token) {
+        let at = start + pos;
+        let before_ok = at == 0 || !line[..at].chars().next_back().is_some_and(is_ident);
+        let after = at + token.len();
+        let after_ok = after >= line.len() || !line[after..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + token.len().max(1);
+    }
+    false
+}
+
+/// Whether raw line `raw` carries a valid allow-pragma for `rule`:
+/// `moca-lint: allow(<rule>): <non-empty justification>`.
+pub fn has_allow_pragma(raw: &str, rule: &str) -> bool {
+    let needle = format!("moca-lint: allow({rule})");
+    let Some(pos) = raw.find(&needle) else {
+        return false;
+    };
+    let rest = raw[pos + needle.len()..].trim_start();
+    let Some(justification) = rest.strip_prefix(':') else {
+        return false;
+    };
+    !justification.trim().is_empty()
+}
+
+/// Context markers that identify a `u64`-flavored (cycle / address / size)
+/// expression for the `narrowing-cast` rule.
+const NARROWING_MARKERS: &[&str] = &[
+    "Cycle",
+    "cycle",
+    "pfn",
+    "vpn",
+    "addr",
+    "Addr",
+    "bytes",
+    "capacity",
+    "u64",
+    ".len()",
+    "PAGE_SIZE",
+    "CACHE_LINE_SIZE",
+    "row_buffer",
+    "line.0",
+];
+
+/// Narrowing cast targets the rule watches for.
+const NARROWING_CASTS: &[&str] = &["as u32", "as u16", "as u8", "as usize"];
+
+/// Wall-clock / threading tokens.
+const WALL_CLOCK_TOKENS: &[&str] = &["Instant", "SystemTime"];
+const THREAD_TOKENS: &[&str] = &["thread::spawn", "thread::scope", "thread::sleep"];
+
+/// Ambient-randomness tokens (anything not flowing through
+/// `moca_common::rng::DetRng`).
+const RNG_TOKENS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "RandomState",
+    "rand::random",
+    "getrandom",
+    "fastrand",
+];
+
+/// Lint one file. `crate_name` is the directory name under `crates/`
+/// (e.g. `sim`); `rel` is the path to report in findings. `raw` is the
+/// original source.
+pub fn scan_file(crate_name: &str, rel: &Path, raw: &str) -> Vec<Finding> {
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    let code = strip_code(raw);
+    let sim_path = SIM_PATH_CRATES.contains(&crate_name);
+    let clock_checked = !WALL_CLOCK_EXEMPT_CRATES.contains(&crate_name);
+    let mut findings = Vec::new();
+
+    let mut push = |rule: &'static str, ln: usize, message: String| {
+        // Pragma on the finding line or the line above suppresses it.
+        let suppressed = has_allow_pragma(raw_lines[ln], rule)
+            || (ln > 0 && has_allow_pragma(raw_lines[ln - 1], rule));
+        if !suppressed {
+            findings.push(Finding {
+                rule,
+                path: rel.to_path_buf(),
+                line: ln + 1,
+                excerpt: raw_lines[ln].trim().to_string(),
+                message,
+            });
+        }
+    };
+
+    for (ln, line) in code.iter().enumerate() {
+        if sim_path {
+            for tok in ["HashMap", "HashSet"] {
+                if has_token(line, tok) {
+                    push(
+                        "det-map",
+                        ln,
+                        format!(
+                            "{tok} iteration order is nondeterministic; use \
+                             moca_common::det::{} instead",
+                            if tok == "HashMap" { "DetMap" } else { "DetSet" }
+                        ),
+                    );
+                }
+            }
+        }
+        if clock_checked {
+            for tok in WALL_CLOCK_TOKENS {
+                if has_token(line, tok) {
+                    push(
+                        "wall-clock",
+                        ln,
+                        format!(
+                            "std::time::{tok} reads the host clock; simulated \
+                             time is moca_common::Cycle"
+                        ),
+                    );
+                }
+            }
+            for tok in THREAD_TOKENS {
+                if line.contains(tok) {
+                    push(
+                        "wall-clock",
+                        ln,
+                        format!("{tok} spawns host threads outside telemetry/bench"),
+                    );
+                }
+            }
+        }
+        for tok in RNG_TOKENS {
+            if line.contains(tok) {
+                push(
+                    "unseeded-rng",
+                    ln,
+                    format!("{tok} draws ambient entropy; use moca_common::rng::DetRng"),
+                );
+            }
+        }
+        if sim_path {
+            let casts: Vec<&str> = NARROWING_CASTS
+                .iter()
+                .copied()
+                .filter(|c| has_token(line, c))
+                .collect();
+            if !casts.is_empty() {
+                // `as usize` is a widening on 64-bit hosts unless the source
+                // is 64-bit flavored; require a marker in a 3-line window.
+                let lo = ln.saturating_sub(2);
+                let window = &code[lo..=ln];
+                let marked = window
+                    .iter()
+                    .any(|l| NARROWING_MARKERS.iter().any(|m| l.contains(m)));
+                if marked {
+                    push(
+                        "narrowing-cast",
+                        ln,
+                        format!(
+                            "bare `{}` may silently truncate a cycle/address \
+                             value; use moca_common::units::narrow_*",
+                            casts[0]
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for deterministic
+/// reports.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan every crate's `src/` under `<root>/crates/`, plus the shared
+/// integration tests in `<root>/tests/`. The `analysis` crate itself is
+/// excluded: its rule tables and fixtures necessarily spell the forbidden
+/// tokens.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+        if crate_name == "analysis" {
+            continue;
+        }
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rust_files(&src, &mut files)?;
+        for file in files {
+            let raw = std::fs::read_to_string(&file)?;
+            let rel = file.strip_prefix(root).unwrap_or(&file);
+            findings.extend(scan_file(&crate_name, rel, &raw));
+        }
+    }
+    // Shared integration tests drive the simulated path; hold them to the
+    // same clock/rng rules (they are not in a sim-path crate, so det-map and
+    // narrowing-cast do not apply).
+    let tests = root.join("tests");
+    if tests.is_dir() {
+        let mut files = Vec::new();
+        rust_files(&tests, &mut files)?;
+        for file in files {
+            let raw = std::fs::read_to_string(&file)?;
+            let rel = file.strip_prefix(root).unwrap_or(&file);
+            findings.extend(scan_file("tests", rel, &raw));
+        }
+    }
+    Ok(findings)
+}
+
+/// Split findings into (unsuppressed, baselined) under `baseline`.
+pub fn apply_baseline(
+    findings: Vec<Finding>,
+    baseline: &BTreeSet<String>,
+) -> (Vec<Finding>, Vec<Finding>) {
+    findings
+        .into_iter()
+        .partition(|f| !baseline.contains(&baseline_key(f)))
+}
+
+/// One named model-validation check.
+pub struct ModelCheck {
+    /// What was validated (e.g. `timing preset DDR3`).
+    pub name: String,
+    /// `Err` carries the named-constraint message.
+    pub result: Result<(), String>,
+}
+
+/// Statically validate the timing/layout model: every Table II device
+/// preset ([`moca_dram::DeviceTiming::validate`]), the virtual
+/// address-space layout ([`moca_vm::layout::validate_layout`]), and every
+/// evaluated system configuration ([`moca_sim::config::SystemConfig`]).
+pub fn check_model() -> Vec<ModelCheck> {
+    use moca_common::ModuleKind;
+    use moca_sim::config::{HeterogeneousLayout, MemSystemConfig, SystemConfig};
+
+    let mut checks = Vec::new();
+    for kind in ModuleKind::ALL {
+        checks.push(ModelCheck {
+            name: format!("timing preset {}", kind.name()),
+            result: moca_dram::DeviceTiming::for_kind(kind).validate(),
+        });
+    }
+    checks.push(ModelCheck {
+        name: "vm address-space layout".to_string(),
+        result: moca_vm::layout::validate_layout(),
+    });
+    let mems = [
+        (
+            "Homogen-DDR3",
+            MemSystemConfig::Homogeneous(ModuleKind::Ddr3),
+        ),
+        (
+            "Homogen-RL",
+            MemSystemConfig::Homogeneous(ModuleKind::Rldram3),
+        ),
+        ("Homogen-HBM", MemSystemConfig::Homogeneous(ModuleKind::Hbm)),
+        (
+            "Homogen-LP",
+            MemSystemConfig::Homogeneous(ModuleKind::Lpddr2),
+        ),
+        (
+            "Heter config1",
+            MemSystemConfig::Heterogeneous(HeterogeneousLayout::config1()),
+        ),
+        (
+            "Heter config2",
+            MemSystemConfig::Heterogeneous(HeterogeneousLayout::config2()),
+        ),
+        (
+            "Heter config3",
+            MemSystemConfig::Heterogeneous(HeterogeneousLayout::config3()),
+        ),
+    ];
+    for (label, mem) in mems {
+        checks.push(ModelCheck {
+            name: format!("system config {label}"),
+            result: SystemConfig::quad_core(mem).validate(),
+        });
+    }
+    checks
+}

@@ -1,0 +1,19 @@
+// Fixture: det-map violations (never compiled; scanned as text).
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+struct S {
+    // In a comment: HashMap should NOT be reported here.
+    m: HashMap<u64, u64>,
+    s: HashSet<u64>,
+}
+
+fn strings_do_not_count() -> &'static str {
+    "a HashMap mentioned inside a string literal"
+}
+
+fn ident_boundary() {
+    // Not matches: identifiers merely containing the token.
+    let MyHashMapLike = 0;
+    let _ = MyHashMapLike;
+}

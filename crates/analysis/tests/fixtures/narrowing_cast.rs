@@ -1,0 +1,10 @@
+// Fixture: narrowing-cast violations (never compiled; scanned as text).
+
+fn narrow(cycle: u64, pfn: u64, small: u16) {
+    let a = cycle as u32; // flagged: cycle-flavored
+    let b = pfn as usize; // flagged: address-flavored
+    // A cast with no u64-flavored marker in the 3-line window is ignored.
+
+    let c = small as u8;
+    let _ = (a, b, c);
+}

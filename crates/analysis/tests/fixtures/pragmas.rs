@@ -1,0 +1,11 @@
+// Fixture: pragma handling (never compiled; scanned as text).
+use std::collections::HashMap; // moca-lint: allow(det-map): fixture demonstrates same-line pragma
+
+// moca-lint: allow(det-map): fixture demonstrates line-above pragma
+use std::collections::HashSet;
+
+// moca-lint: allow(det-map):
+use std::collections::HashMap; // empty justification does not suppress
+
+// moca-lint: allow(wall-clock): wrong rule name does not suppress det-map
+use std::collections::HashSet;

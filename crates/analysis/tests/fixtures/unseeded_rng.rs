@@ -1,0 +1,9 @@
+// Fixture: unseeded-rng violations (never compiled; scanned as text).
+
+fn entropy() {
+    let mut rng = rand::thread_rng();
+    let r = SmallRng::from_entropy();
+    let s = std::collections::hash_map::RandomState::new();
+    let x: u8 = fastrand::u8(..);
+    let _ = (rng, r, s, x);
+}

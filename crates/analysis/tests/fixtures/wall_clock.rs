@@ -1,0 +1,13 @@
+// Fixture: wall-clock violations (never compiled; scanned as text).
+use std::time::Instant;
+
+fn measure() {
+    let t0 = Instant::now();
+    let _ = std::time::SystemTime::now();
+    std::thread::spawn(|| {});
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _ = t0;
+}
+
+/* block comment: Instant and SystemTime in here are not findings,
+   even across lines. thread::spawn too. */

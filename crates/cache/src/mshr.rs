@@ -5,8 +5,7 @@
 //! line. The MSHR count is what limits a core's memory-level parallelism —
 //! the property the MOCA classifier measures through ROB-head stalls.
 
-use moca_common::LineAddr;
-use std::collections::HashMap;
+use moca_common::{DetMap, LineAddr};
 
 /// Outcome of presenting a miss to the MSHR file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,7 +25,7 @@ pub enum MshrOutcome {
 #[derive(Debug, Clone)]
 pub struct MshrFile<W> {
     capacity: usize,
-    entries: HashMap<LineAddr, Vec<W>>,
+    entries: DetMap<LineAddr, Vec<W>>,
     peak_occupancy: usize,
     merges: u64,
     full_stalls: u64,
@@ -38,7 +37,7 @@ impl<W> MshrFile<W> {
         assert!(capacity > 0);
         MshrFile {
             capacity,
-            entries: HashMap::with_capacity(capacity * 2),
+            entries: DetMap::new(),
             peak_occupancy: 0,
             merges: 0,
             full_stalls: 0,

@@ -1,6 +1,7 @@
 //! Set-associative write-back cache with true LRU replacement.
 
 use moca_common::addr::{LineAddr, CACHE_LINE_SIZE};
+use moca_common::units::narrow_usize;
 use moca_common::{Cycle, KB};
 use serde::{Deserialize, Serialize};
 
@@ -142,7 +143,7 @@ impl SetAssocCache {
 
     #[inline]
     fn index(&self, line: LineAddr) -> (usize, u64) {
-        let set = (line.0 % self.set_count) as usize;
+        let set = narrow_usize(line.0 % self.set_count);
         let tag = line.0 / self.set_count;
         (set * self.ways, tag)
     }

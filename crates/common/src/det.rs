@@ -1,0 +1,329 @@
+//! Deterministic (ordered) collections for simulated state.
+//!
+//! The simulator's core contract is that a run is a pure function of its
+//! configuration. `std::collections::HashMap`/`HashSet` break that contract
+//! the moment their iteration order is observed: SipHash keys differ per
+//! process, so any loop over a hash map can reorder placement decisions,
+//! victim selection, or writeback drains between runs. [`DetMap`] and
+//! [`DetSet`] are thin wrappers over `BTreeMap`/`BTreeSet` that iterate in
+//! key order, always. The `det-map` lint rule (see `crates/analysis`)
+//! forbids the std hash collections in simulated-path crates and points
+//! offenders here.
+//!
+//! The API intentionally mirrors the subset of the `HashMap`/`HashSet`
+//! surface the simulator uses, so migration is a type-name change. There is
+//! deliberately no `with_capacity`: B-trees do not preallocate, and the
+//! method's absence keeps callers honest about what the wrapper is.
+
+use std::borrow::Borrow;
+use std::collections::{btree_map, btree_set, BTreeMap, BTreeSet};
+use std::ops::Index;
+
+/// An ordered map with deterministic iteration (key order).
+///
+/// Backed by `BTreeMap`; requires `K: Ord` instead of `K: Hash`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetMap<K: Ord, V> {
+    inner: BTreeMap<K, V>,
+}
+
+impl<K: Ord, V> DetMap<K, V> {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        DetMap {
+            inner: BTreeMap::new(),
+        }
+    }
+
+    /// Insert a key-value pair, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.inner.insert(key, value)
+    }
+
+    /// Look up a value by key.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.get(key)
+    }
+
+    /// Look up a value mutably by key.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.get_mut(key)
+    }
+
+    /// Remove a key, returning its value if present.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.remove(key)
+    }
+
+    /// True if the key is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.contains_key(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.inner.clear()
+    }
+
+    /// Iterate entries in ascending key order.
+    pub fn iter(&self) -> btree_map::Iter<'_, K, V> {
+        self.inner.iter()
+    }
+
+    /// Iterate entries mutably in ascending key order.
+    pub fn iter_mut(&mut self) -> btree_map::IterMut<'_, K, V> {
+        self.inner.iter_mut()
+    }
+
+    /// Iterate keys in ascending order.
+    pub fn keys(&self) -> btree_map::Keys<'_, K, V> {
+        self.inner.keys()
+    }
+
+    /// Iterate values in ascending key order.
+    pub fn values(&self) -> btree_map::Values<'_, K, V> {
+        self.inner.values()
+    }
+
+    /// Iterate values mutably in ascending key order.
+    pub fn values_mut(&mut self) -> btree_map::ValuesMut<'_, K, V> {
+        self.inner.values_mut()
+    }
+
+    /// Entry API, delegating to the underlying B-tree entry.
+    pub fn entry(&mut self, key: K) -> btree_map::Entry<'_, K, V> {
+        self.inner.entry(key)
+    }
+
+    /// Keep only the entries for which the predicate returns true.
+    pub fn retain<F: FnMut(&K, &mut V) -> bool>(&mut self, f: F) {
+        self.inner.retain(f)
+    }
+}
+
+impl<K: Ord, V> Default for DetMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V, Q> Index<&Q> for DetMap<K, V>
+where
+    K: Borrow<Q>,
+    Q: Ord + ?Sized,
+{
+    type Output = V;
+    fn index(&self, key: &Q) -> &V {
+        self.inner.get(key).expect("no entry found for key")
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for DetMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        DetMap {
+            inner: BTreeMap::from_iter(iter),
+        }
+    }
+}
+
+impl<K: Ord, V> IntoIterator for DetMap<K, V> {
+    type Item = (K, V);
+    type IntoIter = btree_map::IntoIter<K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a DetMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = btree_map::Iter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a mut DetMap<K, V> {
+    type Item = (&'a K, &'a mut V);
+    type IntoIter = btree_map::IterMut<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter_mut()
+    }
+}
+
+/// An ordered set with deterministic iteration (element order).
+///
+/// Backed by `BTreeSet`; requires `T: Ord` instead of `T: Hash`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetSet<T: Ord> {
+    inner: BTreeSet<T>,
+}
+
+impl<T: Ord> DetSet<T> {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        DetSet {
+            inner: BTreeSet::new(),
+        }
+    }
+
+    /// Insert a value; returns true if it was not already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        self.inner.insert(value)
+    }
+
+    /// Remove a value; returns true if it was present.
+    pub fn remove<Q>(&mut self, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.remove(value)
+    }
+
+    /// True if the value is present.
+    pub fn contains<Q>(&self, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.contains(value)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True if the set holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.inner.clear()
+    }
+
+    /// Iterate elements in ascending order.
+    pub fn iter(&self) -> btree_set::Iter<'_, T> {
+        self.inner.iter()
+    }
+}
+
+impl<T: Ord> Default for DetSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Ord> FromIterator<T> for DetSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        DetSet {
+            inner: BTreeSet::from_iter(iter),
+        }
+    }
+}
+
+impl<T: Ord> IntoIterator for DetSet<T> {
+    type Item = T;
+    type IntoIter = btree_set::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, T: Ord> IntoIterator for &'a DetSet<T> {
+    type Item = &'a T;
+    type IntoIter = btree_set::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_iterates_in_key_order_regardless_of_insertion() {
+        let mut a = DetMap::new();
+        for k in [9u64, 3, 7, 1, 5] {
+            a.insert(k, k * 10);
+        }
+        let mut b = DetMap::new();
+        for k in [5u64, 1, 7, 3, 9] {
+            b.insert(k, k * 10);
+        }
+        let ka: Vec<_> = a.keys().copied().collect();
+        let kb: Vec<_> = b.keys().copied().collect();
+        assert_eq!(ka, vec![1, 3, 5, 7, 9]);
+        assert_eq!(ka, kb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m = DetMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(2u32, "b"), None);
+        assert_eq!(m.insert(2, "b2"), Some("b"));
+        m.insert(1, "a");
+        assert_eq!(m.len(), 2);
+        assert!(m.contains_key(&1));
+        assert_eq!(m.get(&2), Some(&"b2"));
+        assert_eq!(m[&1], "a");
+        *m.entry(3).or_insert("c") = "c!";
+        assert_eq!(m.remove(&3), Some("c!"));
+        m.retain(|k, _| *k == 1);
+        assert_eq!(m.len(), 1);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn set_iterates_in_order_and_dedups() {
+        let mut s = DetSet::new();
+        assert!(s.insert(4u64));
+        assert!(s.insert(2));
+        assert!(!s.insert(4));
+        assert!(s.contains(&2));
+        let v: Vec<_> = s.iter().copied().collect();
+        assert_eq!(v, vec![2, 4]);
+        assert!(s.remove(&2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn collect_from_iterators() {
+        let m: DetMap<u8, u8> = [(3, 30), (1, 10)].into_iter().collect();
+        assert_eq!(m.iter().next(), Some((&1, &10)));
+        let s: DetSet<u8> = [3, 1, 3].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -12,6 +12,7 @@
 //! coupling to each other.
 
 pub mod addr;
+pub mod det;
 pub mod ids;
 pub mod par;
 pub mod rng;
@@ -19,6 +20,7 @@ pub mod stats;
 pub mod units;
 
 pub use addr::{LineAddr, PhysAddr, VirtAddr, CACHE_LINE_SIZE, PAGE_SIZE};
+pub use det::{DetMap, DetSet};
 pub use ids::{AppId, CoreId, ObjectClass, ObjectId, Segment};
 pub use rng::DetRng;
 pub use stats::{Counter, RunningStat};

@@ -32,6 +32,24 @@ pub fn cycles_to_seconds(cycles: Cycle) -> f64 {
     cycles as f64 / CORE_FREQ_HZ as f64
 }
 
+/// Narrow a `u64` (cycle count, address component, byte count) to `u32`,
+/// panicking with the offending value if it does not fit. The `narrowing-cast`
+/// lint rule requires these helpers instead of bare `as` casts so that a
+/// silently-truncated cycle or address can never corrupt simulated state.
+#[inline]
+#[track_caller]
+pub fn narrow_u32(v: u64) -> u32 {
+    u32::try_from(v).unwrap_or_else(|_| panic!("value {v} does not fit in u32"))
+}
+
+/// Narrow a `u64` to `usize`, panicking with the offending value if it does
+/// not fit (relevant on 32-bit hosts). See [`narrow_u32`].
+#[inline]
+#[track_caller]
+pub fn narrow_usize(v: u64) -> usize {
+    usize::try_from(v).unwrap_or_else(|_| panic!("value {v} does not fit in usize"))
+}
+
 /// Pretty-print a byte count using binary units ("256 MiB").
 pub fn format_bytes(bytes: u64) -> String {
     if bytes >= GB && bytes.is_multiple_of(GB) {
@@ -60,6 +78,19 @@ mod tests {
     #[test]
     fn cycles_to_seconds_at_1ghz() {
         assert!((cycles_to_seconds(1_000_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn narrowing_accepts_in_range_values() {
+        assert_eq!(narrow_u32(0), 0);
+        assert_eq!(narrow_u32(u32::MAX as u64), u32::MAX);
+        assert_eq!(narrow_usize(4096), 4096usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit in u32")]
+    fn narrowing_panics_on_overflow() {
+        narrow_u32(u32::MAX as u64 + 1);
     }
 
     #[test]

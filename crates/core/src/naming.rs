@@ -7,17 +7,17 @@
 //! Fig. 3, and exactly what the `disparity`/`tracking` workload models
 //! exercise.
 
-use moca_common::ObjectId;
+use moca_common::units::narrow_u32;
+use moca_common::{DetMap, ObjectId};
 use moca_workloads::AppSpec;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Maximum calling-context depth recorded (§V-A: "five levels of return
 /// addresses in our callstack").
 pub const MAX_CONTEXT_DEPTH: usize = 5;
 
 /// The unique name of a heap object.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ObjectName {
     /// Return address of the allocation function call.
     pub alloc_site: u64,
@@ -51,7 +51,7 @@ impl std::fmt::Display for ObjectName {
 /// lookup table").
 #[derive(Debug, Clone, Default)]
 pub struct NameRegistry {
-    ids: HashMap<ObjectName, ObjectId>,
+    ids: DetMap<ObjectName, ObjectId>,
     names: Vec<ObjectName>,
     labels: Vec<&'static str>,
 }
@@ -67,7 +67,7 @@ impl NameRegistry {
         if let Some(&id) = self.ids.get(&name) {
             return id;
         }
-        let id = ObjectId(self.names.len() as u32);
+        let id = ObjectId(narrow_u32(self.names.len() as u64));
         self.ids.insert(name.clone(), id);
         self.names.push(name);
         self.labels.push(label);

@@ -6,13 +6,13 @@
 use crate::classify::{classify_lut, AppThresholds, ClassifiedApp, Thresholds};
 use crate::policy::{HeterAppPolicy, HomogeneousPolicy, LowPowerFirstPolicy, MocaPolicy};
 use crate::profile::{profile_app, ProfileConfig, ProfileLut};
+use moca_common::DetMap;
 use moca_sim::config::{MemSystemConfig, SystemConfig};
 use moca_sim::metrics::RunResult;
 use moca_sim::system::{AppLaunch, System};
 use moca_telemetry::{Event, Telemetry};
 use moca_vm::PagePlacementPolicy;
 use moca_workloads::{app_by_name, InputSet};
-use std::collections::HashMap;
 
 /// Which placement policy to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +58,7 @@ pub struct Pipeline {
     pub eval_warmup: u64,
     /// Evaluation measured instructions per core.
     pub eval_instrs: u64,
-    cache: HashMap<String, (ProfileLut, ClassifiedApp)>,
+    cache: DetMap<String, (ProfileLut, ClassifiedApp)>,
 }
 
 impl Pipeline {
@@ -70,7 +70,7 @@ impl Pipeline {
             profile_cfg: ProfileConfig::default(),
             eval_warmup: 500_000,
             eval_instrs: 1_000_000,
-            cache: HashMap::new(),
+            cache: DetMap::new(),
         }
     }
 

@@ -59,6 +59,7 @@ impl HeterAppPolicy {
 
 impl PagePlacementPolicy for HeterAppPolicy {
     fn place(&mut self, app: AppId, _intent: PageIntent, frames: &mut FrameSpace) -> Option<u64> {
+        // moca-lint: allow(narrowing-cast): AppId.0 is u32; u32 -> usize never truncates
         let class = self.app_classes[app.0 as usize];
         frames
             .alloc_by_preference(&preference_order(class))

@@ -3,9 +3,10 @@
 use crate::instr::{Instr, InstrStream};
 use crate::stats::CoreStats;
 use moca_common::ids::MemTag;
+use moca_common::DetMap;
 use moca_common::{CoreId, Cycle, Segment, VirtAddr};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Microarchitectural parameters (Table I defaults).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -99,7 +100,7 @@ pub struct Core {
     cfg: CoreConfig,
     rob: VecDeque<RobEntry>,
     waiting: Vec<WaitingLoad>,
-    tickets: HashMap<u64, u64>,
+    tickets: DetMap<u64, u64>,
     ifetch_ticket: Option<u64>,
     lq_used: usize,
     next_seq: u64,
@@ -107,7 +108,7 @@ pub struct Core {
     /// load waits on the previous load *of its chain* (a pointer chase is
     /// one chain; unrelated loads interleaved by the OoO engine do not
     /// break it).
-    last_load_by_chain: HashMap<u16, u64>,
+    last_load_by_chain: DetMap<u16, u64>,
     dispatch_blocked_until: Cycle,
     fetch_blocked_until: Cycle,
     pc: u64,
@@ -128,11 +129,11 @@ impl Core {
             cfg,
             rob: VecDeque::new(),
             waiting: Vec::new(),
-            tickets: HashMap::new(),
+            tickets: DetMap::new(),
             ifetch_ticket: None,
             lq_used: 0,
             next_seq: 0,
-            last_load_by_chain: HashMap::new(),
+            last_load_by_chain: DetMap::new(),
             dispatch_blocked_until: 0,
             fetch_blocked_until: 0,
             pc,

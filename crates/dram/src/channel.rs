@@ -178,6 +178,10 @@ pub struct Channel {
     transfer_cycles: Cycle,
     reserve_horizon: Cycle,
     stats: ChannelStats,
+    /// Row activations per bank (index = bank), for per-bank occupancy
+    /// telemetry tracks. Copy-DMA activates are not bank-attributed (the OS
+    /// copies whole pages; see `inject_copy_traffic`).
+    bank_activates: Vec<u64>,
 }
 
 impl Channel {
@@ -186,7 +190,10 @@ impl Channel {
         let t = &cfg.timing;
         let transfer_cycles = t.line_transfer_cycles();
         let reserve_horizon = t.t_rcd + t.t_cl + transfer_cycles;
-        let banks = vec![BankState::default(); t.banks as usize];
+        // moca-lint: allow(narrowing-cast): bank count is u32; u32 -> usize never truncates
+        let nbanks = t.banks as usize;
+        let banks = vec![BankState::default(); nbanks];
+        let bank_activates = vec![0u64; nbanks];
         let t_refi = t.t_refi;
         Channel {
             cfg,
@@ -201,6 +208,7 @@ impl Channel {
             transfer_cycles,
             reserve_horizon,
             stats: ChannelStats::default(),
+            bank_activates,
         }
     }
 
@@ -212,6 +220,11 @@ impl Channel {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &ChannelStats {
         &self.stats
+    }
+
+    /// Cumulative row activations per bank (index = bank number).
+    pub fn bank_activates(&self) -> &[u64] {
+        &self.bank_activates
     }
 
     /// Zero the statistics (end of a warmup phase). Bank/queue state is
@@ -436,6 +449,8 @@ impl Channel {
             bank.rc_ready = now + t.t_rc;
             bank.ras_ready = now + t.t_ras;
             self.stats.activates += t.subaccesses_per_line() as u64;
+            // moca-lint: allow(narrowing-cast): bank index is u32; u32 -> usize never truncates
+            self.bank_activates[d.bank as usize] += t.subaccesses_per_line() as u64;
             (now + t.t_rcd + t.t_cl, false)
         };
 

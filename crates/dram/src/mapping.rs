@@ -12,6 +12,7 @@
 
 use crate::timing::DeviceTiming;
 use moca_common::addr::{LineAddr, CACHE_LINE_SIZE};
+use moca_common::units::{narrow_u32, narrow_usize};
 use serde::{Deserialize, Serialize};
 
 /// Intra-channel coordinates of a request.
@@ -35,10 +36,10 @@ pub struct DecodedAddr {
 /// line's sub-blocks land in consecutive banks by the same formula.
 pub fn decode_local(timing: &DeviceTiming, local_byte_addr: u64) -> DecodedAddr {
     let rb = timing.row_buffer_bytes.max(1);
-    let col = (local_byte_addr % rb) as u32;
+    let col = narrow_u32(local_byte_addr % rb);
     let block = local_byte_addr / rb;
-    let bank = (block % timing.banks as u64) as u32;
-    let row = ((block / timing.banks as u64) % timing.rows as u64) as u32;
+    let bank = narrow_u32(block % timing.banks as u64);
+    let row = narrow_u32((block / timing.banks as u64) % timing.rows as u64);
     DecodedAddr { bank, row, col }
 }
 
@@ -83,6 +84,7 @@ impl AddressMapper {
     /// Number of channels.
     pub fn channels(&self) -> usize {
         match self {
+            // moca-lint: allow(narrowing-cast): channel count is u32; u32 -> usize never truncates
             AddressMapper::Interleaved { channels } => *channels as usize,
             AddressMapper::Ranged { bounds } => bounds.len() - 1,
         }
@@ -102,7 +104,7 @@ impl AddressMapper {
         let byte = line.0 * CACHE_LINE_SIZE;
         match self {
             AddressMapper::Interleaved { channels } => {
-                let ch = (line.0 % *channels as u64) as usize;
+                let ch = narrow_usize(line.0 % *channels as u64);
                 let local = (line.0 / *channels as u64) * CACHE_LINE_SIZE;
                 (ch, local)
             }

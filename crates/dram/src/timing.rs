@@ -29,7 +29,7 @@
 //! qualitative power ordering LPDDR2 < DDR3 < HBM < RLDRAM under load.
 
 use crate::power::PowerCoefficients;
-use moca_common::units::ns_to_cycles;
+use moca_common::units::{narrow_u32, ns_to_cycles};
 use moca_common::{Cycle, ModuleKind};
 use serde::{Deserialize, Serialize};
 
@@ -218,9 +218,11 @@ impl DeviceTiming {
     /// 1 for devices whose row buffer holds a whole line; 4 for RLDRAM3's
     /// 16 B rows.
     pub fn subaccesses_per_line(&self) -> u32 {
-        (moca_common::addr::CACHE_LINE_SIZE)
-            .div_ceil(self.row_buffer_bytes)
-            .max(1) as u32
+        narrow_u32(
+            (moca_common::addr::CACHE_LINE_SIZE)
+                .div_ceil(self.row_buffer_bytes)
+                .max(1),
+        )
     }
 
     /// Whether the device can ever produce open-row hits on 64 B requests.
@@ -232,6 +234,73 @@ impl DeviceTiming {
     /// data transfer — a rough "device latency" figure.
     pub fn closed_row_latency(&self) -> Cycle {
         self.t_rcd + self.t_cl
+    }
+
+    /// Check the inter-parameter constraints every DRAM device must satisfy.
+    /// Errors name the violated constraint so a misconfigured preset is
+    /// rejected with an actionable message. Also run offline by
+    /// `moca-lint check-model` against every Table II preset.
+    pub fn validate(&self) -> Result<(), String> {
+        let who = self.kind;
+        if self.tck_ps == 0 {
+            return Err(format!("{who}: tCK must be positive"));
+        }
+        if self.burst_length == 0
+            || self.banks == 0
+            || self.rows == 0
+            || self.device_width == 0
+            || self.row_buffer_bytes == 0
+            || self.data_lanes == 0
+        {
+            return Err(format!(
+                "{who}: architecture parameters (burst, banks, rows, width, \
+                 row buffer, lanes) must all be positive"
+            ));
+        }
+        if self.t_rc < self.t_ras + self.t_rp {
+            return Err(format!(
+                "{who}: tRC ({}) must be >= tRAS + tRP ({} + {}): a bank \
+                 cannot re-activate before the previous row is restored and \
+                 precharged",
+                self.t_rc, self.t_ras, self.t_rp
+            ));
+        }
+        if self.t_ras < self.t_rcd {
+            return Err(format!(
+                "{who}: tRAS ({}) must be >= tRCD ({}): the row must stay \
+                 open at least until the first CAS can issue",
+                self.t_ras, self.t_rcd
+            ));
+        }
+        if self.t_refi <= self.t_rfc {
+            return Err(format!(
+                "{who}: tREFI ({}) must be > tRFC ({}): refresh would \
+                 otherwise consume the entire schedule",
+                self.t_refi, self.t_rfc
+            ));
+        }
+        // Burst capacity identity: one burst on the device interface moves
+        // burst_length × device_width / 8 bytes; a 64 B line must be an
+        // exact multiple of it or the transfer model miscounts bus cycles.
+        let burst_bytes = self.burst_length as u64 * self.device_width as u64 / 8;
+        if burst_bytes == 0 || !moca_common::addr::CACHE_LINE_SIZE.is_multiple_of(burst_bytes) {
+            return Err(format!(
+                "{who}: burst capacity identity violated: cache line (64 B) \
+                 is not a multiple of burst_length x device_width / 8 \
+                 ({burst_bytes} B)"
+            ));
+        }
+        // Sub-line devices must stripe a line's sub-blocks across distinct
+        // banks, which requires enough banks for one line.
+        let subline = self.subaccesses_per_line() as u64;
+        if subline > self.banks as u64 {
+            return Err(format!(
+                "{who}: a 64 B line needs {subline} sub-accesses but the \
+                 device only has {} banks",
+                self.banks
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -283,6 +352,36 @@ mod tests {
         assert_eq!(DeviceTiming::ddr3().subaccesses_per_line(), 1);
         assert!(!DeviceTiming::rldram3().supports_row_hits());
         assert!(DeviceTiming::ddr3().supports_row_hits());
+    }
+
+    #[test]
+    fn all_table2_presets_validate() {
+        for k in ModuleKind::ALL {
+            DeviceTiming::for_kind(k)
+                .validate()
+                .unwrap_or_else(|e| panic!("{k} preset invalid: {e}"));
+        }
+    }
+
+    #[test]
+    fn perturbed_preset_is_rejected_with_named_constraint() {
+        let mut d = DeviceTiming::ddr3();
+        d.t_rc = d.t_ras + d.t_rp - 1;
+        let err = d.validate().unwrap_err();
+        assert!(err.contains("tRC"), "error must name the constraint: {err}");
+
+        let mut d = DeviceTiming::hbm();
+        d.t_ras = d.t_rcd - 1;
+        // Keep tRC consistent so the first failing constraint is tRAS.
+        assert!(d.validate().unwrap_err().contains("tRAS"));
+
+        let mut d = DeviceTiming::lpddr2();
+        d.t_refi = d.t_rfc;
+        assert!(d.validate().unwrap_err().contains("tREFI"));
+
+        let mut d = DeviceTiming::rldram3();
+        d.device_width = 24; // 8 beats x 24 bits = 24 B: does not divide 64 B
+        assert!(d.validate().unwrap_err().contains("burst"));
     }
 
     #[test]

@@ -195,6 +195,44 @@ impl SystemConfig {
             ..SystemConfig::single_core(mem)
         }
     }
+
+    /// Validate the whole configuration before building a [`crate::System`]:
+    /// machine parameters sane, every DRAM device preset self-consistent
+    /// ([`DeviceTiming::validate`]), and the virtual address-space layout
+    /// well-formed ([`moca_vm::layout::validate_layout`]). Errors name the
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("cores must be positive".to_string());
+        }
+        if !(self.capacity_scale > 0.0 && self.capacity_scale <= 1.0) {
+            return Err(format!(
+                "capacity_scale {} must be in (0, 1]",
+                self.capacity_scale
+            ));
+        }
+        if self.tlb_entries == 0 {
+            return Err("tlb_entries must be positive".to_string());
+        }
+        for (ci, ch) in self
+            .mem
+            .channel_configs(self.capacity_scale)
+            .iter()
+            .enumerate()
+        {
+            ch.timing
+                .validate()
+                .map_err(|e| format!("channel {ci}: {e}"))?;
+            if ch.capacity_bytes == 0 || ch.capacity_bytes % moca_common::addr::PAGE_SIZE != 0 {
+                return Err(format!(
+                    "channel {ci}: capacity {} must be a positive page multiple",
+                    ch.capacity_bytes
+                ));
+            }
+        }
+        moca_vm::layout::validate_layout()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +282,33 @@ mod tests {
         let m = mem.mapper(1.0 / 64.0);
         assert_eq!(m.total_bytes(), Some(32 * MB));
         assert_eq!(m.channels(), 4);
+    }
+
+    #[test]
+    fn all_preset_configs_validate() {
+        for mem in [
+            MemSystemConfig::Homogeneous(ModuleKind::Ddr3),
+            MemSystemConfig::Homogeneous(ModuleKind::Rldram3),
+            MemSystemConfig::Homogeneous(ModuleKind::Hbm),
+            MemSystemConfig::Homogeneous(ModuleKind::Lpddr2),
+            MemSystemConfig::Heterogeneous(HeterogeneousLayout::config1()),
+            MemSystemConfig::Heterogeneous(HeterogeneousLayout::config2()),
+            MemSystemConfig::Heterogeneous(HeterogeneousLayout::config3()),
+        ] {
+            SystemConfig::quad_core(mem)
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", mem.label()));
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_with_named_constraint() {
+        let mut s = SystemConfig::single_core(MemSystemConfig::Homogeneous(ModuleKind::Ddr3));
+        s.capacity_scale = 0.0;
+        assert!(s.validate().unwrap_err().contains("capacity_scale"));
+        let mut s = SystemConfig::single_core(MemSystemConfig::Homogeneous(ModuleKind::Ddr3));
+        s.cores = 0;
+        assert!(s.validate().unwrap_err().contains("cores"));
     }
 
     #[test]

@@ -11,11 +11,12 @@
 
 use moca_cache::mshr::MshrOutcome;
 use moca_cache::{CacheConfig, MshrFile, SetAssocCache, Victim};
+use moca_common::det::{DetMap, DetSet};
 use moca_common::ids::MemTag;
 use moca_common::{AccessKind, CoreId, Cycle, LineAddr, PhysAddr, Segment};
 use moca_cpu::{MemReply, StoreReply};
 use moca_dram::{AddressMapper, Channel, Completion, MemRequest};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// What an outstanding DRAM read token is for.
 #[derive(Debug, Clone, Copy)]
@@ -42,10 +43,10 @@ pub struct CoreHierarchy {
     l1d: SetAssocCache,
     l2: SetAssocCache,
     l2_mshr: MshrFile<u64>,
-    outstanding: HashMap<u64, FillKind>,
+    outstanding: DetMap<u64, FillKind>,
     /// Lines with a pending store merged into an in-flight demand miss: the
     /// eventual fill must install dirty.
-    pending_store_dirty: HashSet<LineAddr>,
+    pending_store_dirty: DetSet<LineAddr>,
     deferred: VecDeque<Deferred>,
     l1_hit_latency: Cycle,
     l2_hit_latency: Cycle,
@@ -71,8 +72,8 @@ impl CoreHierarchy {
             l1d: SetAssocCache::new(l1d),
             l2: SetAssocCache::new(l2),
             l2_mshr: MshrFile::new(mshrs),
-            outstanding: HashMap::new(),
-            pending_store_dirty: HashSet::new(),
+            outstanding: DetMap::new(),
+            pending_store_dirty: DetSet::new(),
             deferred: VecDeque::new(),
             l1_hit_latency,
             l2_hit_latency,

@@ -164,6 +164,7 @@ impl PlacementReport {
     /// All pages of `app` on module `kind`.
     pub fn app_pages_on(&self, app: AppId, kind: ModuleKind) -> u64 {
         self.pages
+            // moca-lint: allow(narrowing-cast): AppId.0 is u32; u32 -> usize never truncates
             .get(app.0 as usize)
             .map_or(0, |p| p.iter().map(|row| row[kind_index(kind)]).sum())
     }

@@ -18,10 +18,10 @@
 use crate::hierarchy::CoreHierarchy;
 use crate::os::Os;
 use moca_common::addr::{LineAddr, PAGE_SIZE};
+use moca_common::DetMap;
 use moca_common::{Cycle, ModuleKind};
 use moca_dram::{AddressMapper, Channel};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Lines per page (64 with 4 KiB pages and 64 B lines).
 const LINES_PER_PAGE: u64 = PAGE_SIZE / moca_common::addr::CACHE_LINE_SIZE;
@@ -66,11 +66,13 @@ pub struct MigrationStats {
 /// The per-page heat tracker + epoch mover.
 pub struct Migrator {
     cfg: MigrationConfig,
-    /// DRAM reads per pfn in the current epoch.
-    heat: HashMap<u64, u32>,
+    /// DRAM reads per pfn in the current epoch. Ordered so that candidate
+    /// collection (and thus victim selection) is independent of the order in
+    /// which pages were first touched.
+    heat: DetMap<u64, u32>,
     /// Exponentially decayed heat of pages currently resident in the fast
     /// modules (so cold residents can be identified for demotion).
-    resident_heat: HashMap<u64, u32>,
+    resident_heat: DetMap<u64, u32>,
     next_epoch: Cycle,
     stats: MigrationStats,
 }
@@ -81,8 +83,8 @@ impl Migrator {
         Migrator {
             next_epoch: cfg.epoch_cycles,
             cfg,
-            heat: HashMap::new(),
-            resident_heat: HashMap::new(),
+            heat: DetMap::new(),
+            resident_heat: DetMap::new(),
             stats: MigrationStats::default(),
         }
     }
@@ -133,8 +135,9 @@ impl Migrator {
             }
         }
         self.heat.clear();
-        // Deterministic order: heat descending, then pfn (hash maps do not
-        // iterate deterministically).
+        // Explicit tie-break: heat descending, then pfn ascending. The heat
+        // table already iterates in pfn order (DetMap), so this sort — and
+        // everything downstream of it — is identical run to run.
         candidates.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         candidates.truncate(self.cfg.max_moves_per_epoch);
 
@@ -229,6 +232,90 @@ mod tests {
         m.record_read(LineAddr(64)); // next page
         assert_eq!(m.heat.get(&0), Some(&2));
         assert_eq!(m.heat.get(&1), Some(&1));
+    }
+
+    /// Determinism regression: two migrators fed the *same multiset* of heat
+    /// observations in permuted orders — over identically-placed address
+    /// spaces whose pages also faulted in permuted order — must make
+    /// identical victim-selection and promotion decisions. This is exactly
+    /// the property a HashMap-backed heat table breaks (iteration order
+    /// would leak into candidate collection).
+    #[test]
+    fn permuted_observation_order_gives_identical_migrations() {
+        use moca_common::addr::PAGE_SIZE;
+        use moca_dram::{ChannelConfig, DeviceTiming};
+        use moca_vm::frames::regions_from_capacities;
+        use moca_vm::policy::FirstTouchPolicy;
+        use moca_vm::FrameSpace;
+
+        const PAGES: u64 = 18;
+        let cfg = MigrationConfig {
+            epoch_cycles: 1_000,
+            max_moves_per_epoch: 2,
+            heat_threshold: 4,
+            fast_kinds: [ModuleKind::Rldram3, ModuleKind::Hbm],
+        };
+
+        // Heat multiset with deliberate ties: pages 2..6 at heat 9, pages
+        // 6..10 at heat 5, and the two fast-resident pages (0, 1) at heat 2
+        // so they are demotion candidates.
+        let heats = |pfn: u64| -> u32 {
+            match pfn {
+                0 | 1 => 2,
+                2..=5 => 9,
+                6..=9 => 5,
+                _ => 1,
+            }
+        };
+
+        let run = |fault_order: &[u64], obs_order: &[u64]| {
+            // A tiny machine: 2 RLDRAM frames (filled first by first-touch)
+            // and a DDR3 region holding everything else.
+            let frames = FrameSpace::new(regions_from_capacities(&[
+                (ModuleKind::Rldram3, 0, 2 * PAGE_SIZE),
+                (ModuleKind::Ddr3, 1, 64 * PAGE_SIZE),
+            ]));
+            let mut os = Os::new(frames, Box::new(FirstTouchPolicy), 1, 64, 0, 0);
+            for &vpn in fault_order {
+                os.prefault(0, moca_common::VirtAddr(vpn * PAGE_SIZE));
+            }
+            let mut channels = vec![
+                Channel::new(ChannelConfig::new(DeviceTiming::rldram3(), 2 * PAGE_SIZE)),
+                Channel::new(ChannelConfig::new(DeviceTiming::ddr3(), 64 * PAGE_SIZE)),
+            ];
+            let mapper = AddressMapper::ranged(&[2 * PAGE_SIZE, 64 * PAGE_SIZE]);
+            let mut mig = Migrator::new(cfg);
+            for round in 0..2 {
+                for &pfn in obs_order {
+                    for _ in 0..heats(pfn) {
+                        mig.record_read(LineAddr(pfn * LINES_PER_PAGE));
+                    }
+                }
+                mig.run_epoch(
+                    1_000 * (round + 1),
+                    &mut os,
+                    &mut [],
+                    &mut channels,
+                    &mapper,
+                );
+            }
+            let kinds: Vec<_> = (0..PAGES).map(|p| os.frames().kind_of(p)).collect();
+            let owners: Vec<_> = (0..PAGES).map(|p| os.owner_of(p)).collect();
+            let s = mig.stats();
+            (kinds, owners, (s.epochs, s.promotions, s.demotions))
+        };
+
+        let fwd: Vec<u64> = (0..PAGES).collect();
+        let rev: Vec<u64> = (0..PAGES).rev().collect();
+        // First-touch placement is order-dependent by design, so fault pages
+        // in the same order; only the *observations* are permuted.
+        let a = run(&fwd, &fwd);
+        let b = run(&fwd, &rev);
+        assert!(a.2 .1 > 0, "test must exercise at least one promotion");
+        assert_eq!(
+            a, b,
+            "permuted heat observations changed migration decisions"
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::metrics::PlacementReport;
 use moca_common::addr::{PhysAddr, VirtAddr};
+use moca_common::units::narrow_u32;
 use moca_common::{AppId, Cycle, ObjectClass};
 use moca_telemetry::{Event, EventIntent, Telemetry};
 use moca_vm::layout::PageIntent;
@@ -39,7 +40,7 @@ pub struct Os {
     tlbs: Vec<Tlb>,
     placement: PlacementReport,
     /// Reverse map frame → (app, vpn), maintained for page migration.
-    owners: std::collections::HashMap<u64, (usize, u64)>,
+    owners: moca_common::DetMap<u64, (usize, u64)>,
     tlb_miss_penalty: Cycle,
     page_fault_penalty: Cycle,
 }
@@ -61,7 +62,7 @@ impl Os {
             policy,
             page_tables: (0..apps).map(|_| PageTable::new()).collect(),
             tlbs: (0..apps).map(|_| Tlb::new(tlb_entries)).collect(),
-            owners: std::collections::HashMap::new(),
+            owners: moca_common::DetMap::new(),
             tlb_miss_penalty,
             page_fault_penalty,
         }
@@ -141,7 +142,7 @@ impl Os {
         now: Cycle,
         mut tel: Option<&mut Telemetry>,
     ) -> u64 {
-        let app = AppId(core_idx as u32);
+        let app = AppId(narrow_u32(core_idx as u64));
         let intent = PageIntent::of_va(va);
         if let Some(t) = tel.as_deref_mut() {
             t.record(

@@ -73,6 +73,8 @@ pub struct System {
     win_l2_miss: Vec<u64>,
     /// Per-channel busy-cycle baseline at window start.
     win_busy: Vec<Cycle>,
+    /// Per-channel, per-bank activate-count baseline at window start.
+    win_bank_act: Vec<Vec<u64>>,
 }
 
 struct Port<'a> {
@@ -160,6 +162,8 @@ impl System {
             cfg.cores,
             "one application per core required"
         );
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid system configuration: {e}"));
         let channels: Vec<Channel> = cfg
             .mem
             .channel_configs(cfg.capacity_scale)
@@ -285,6 +289,7 @@ impl System {
             win_committed: vec![0; n],
             win_l2_miss: vec![0; n],
             win_busy: vec![0; channel_count],
+            win_bank_act: vec![Vec::new(); channel_count],
         };
         sys.rebaseline_windows();
         sys
@@ -307,6 +312,7 @@ impl System {
         }
         for (ci, ch) in self.channels.iter().enumerate() {
             self.win_busy[ci] = ch.stats().busy_cycles;
+            self.win_bank_act[ci] = ch.bank_activates().to_vec();
         }
     }
 
@@ -346,6 +352,16 @@ impl System {
                 format!("bus_util.ch{ci}"),
                 if dt > 0.0 { db as f64 / dt } else { 0.0 },
             ));
+            // Per-bank occupancy: row activations in this window, one
+            // counter track per bank (`bank_act.ch0.b3` in the trace).
+            for (b, &acts) in ch.bank_activates().iter().enumerate() {
+                let prev = self.win_bank_act[ci].get(b).copied().unwrap_or(0);
+                self.win_bank_act[ci][b] = acts;
+                samples.push((
+                    format!("bank_act.ch{ci}.b{b}"),
+                    acts.saturating_sub(prev) as f64,
+                ));
+            }
         }
         for (kind, free) in self.os.frames().headroom() {
             samples.push((format!("free_frames.{}", kind.name()), free as f64));
@@ -398,6 +414,7 @@ impl System {
 
         // 1. DRAM completions → cache fills → core wakeups.
         comps.clear();
+        // moca-lint: allow(wall-clock): host self-profiling span, never read by the simulation
         let t0 = profile.then(std::time::Instant::now);
         for (ci, ch) in self.channels.iter_mut().enumerate() {
             ch.tick_tel(now, comps, &mut self.tel, ci as u32);
@@ -426,6 +443,7 @@ impl System {
 
         // Page-migration epoch boundary.
         if self.migrator.as_ref().is_some_and(|m| m.epoch_due(now)) {
+            // moca-lint: allow(wall-clock): host self-profiling span, never read by the simulation
             let t0 = profile.then(std::time::Instant::now);
             let mut m = self.migrator.take().expect("checked above");
             m.run_epoch(
@@ -451,6 +469,7 @@ impl System {
         }
 
         // 2. Retry deferred writebacks/store-fills.
+        // moca-lint: allow(wall-clock): host self-profiling span, never read by the simulation
         let t0 = profile.then(std::time::Instant::now);
         for h in &mut self.hiers {
             h.flush_deferred(now, &mut self.channels, &self.mapper);
@@ -460,6 +479,7 @@ impl System {
         }
 
         // 3. Core pipelines.
+        // moca-lint: allow(wall-clock): host self-profiling span, never read by the simulation
         let t0 = profile.then(std::time::Instant::now);
         for i in 0..n {
             let mut port = Port {

@@ -34,6 +34,60 @@ pub const STACK_BASE: u64 = 0x7000_0000;
 /// Stack top (stack grows down from here).
 pub const STACK_TOP: u64 = 0x7FFF_F000;
 
+/// Exclusive end of a heap partition's virtual range: the next partition's
+/// base, or the stack for the topmost (latency) partition.
+pub fn partition_end(class: ObjectClass) -> u64 {
+    match class {
+        ObjectClass::NonIntensive => BW_HEAP_BASE,
+        ObjectClass::BandwidthSensitive => LAT_HEAP_BASE,
+        ObjectClass::LatencySensitive => STACK_BASE,
+    }
+}
+
+/// Statically validate the address-space layout: every region page-aligned,
+/// regions strictly ordered and non-overlapping, heap partitions tiling the
+/// heap segment contiguously so `heap_class_of_va` has no unclassifiable
+/// holes. Errors name the violated constraint. The layout is compile-time
+/// constant, so this is primarily exercised offline by `moca-lint
+/// check-model` and at system construction as a guard against future edits.
+pub fn validate_layout() -> Result<(), String> {
+    let regions: [(&str, u64, u64); 6] = [
+        ("code", CODE_BASE, DATA_BASE),
+        ("data", DATA_BASE, POW_HEAP_BASE),
+        ("pow-heap", POW_HEAP_BASE, BW_HEAP_BASE),
+        ("bw-heap", BW_HEAP_BASE, LAT_HEAP_BASE),
+        ("lat-heap", LAT_HEAP_BASE, STACK_BASE),
+        ("stack", STACK_BASE, STACK_TOP),
+    ];
+    for (name, base, end) in regions {
+        if base % PAGE_SIZE != 0 {
+            return Err(format!("{name} base {base:#x} is not page-aligned"));
+        }
+        if end <= base {
+            return Err(format!("{name} region is empty ({base:#x}..{end:#x})"));
+        }
+    }
+    for w in regions.windows(2) {
+        let (a_name, _, a_end) = w[0];
+        let (b_name, b_base, _) = w[1];
+        if a_end > b_base {
+            return Err(format!(
+                "{a_name} (ends {a_end:#x}) overlaps {b_name} (starts {b_base:#x})"
+            ));
+        }
+    }
+    // Every partition's bump-allocator limit must stay inside its range.
+    for class in ObjectClass::ALL {
+        if partition_end(class) <= partition_base(class) {
+            return Err(format!("heap partition for {class} is empty"));
+        }
+    }
+    if !STACK_TOP.is_multiple_of(PAGE_SIZE) {
+        return Err(format!("stack top {STACK_TOP:#x} is not page-aligned"));
+    }
+    Ok(())
+}
+
 /// Base virtual address of a heap partition.
 pub fn partition_base(class: ObjectClass) -> u64 {
     match class {
@@ -127,12 +181,14 @@ impl HeapLayout {
     /// Allocate `size` bytes in the partition for `class` (64 B aligned, so
     /// objects never share cache lines — matching how the profiler
     /// attributes misses to objects). Panics if a partition overflows its
-    /// 512 MB virtual range, which no configured workload approaches.
+    /// virtual range, which no configured workload approaches.
     pub fn alloc_heap(&mut self, class: ObjectClass, size: u64) -> VirtAddr {
         let cur = self.cursor_mut(class);
         let va = VirtAddr(*cur);
         *cur += size.div_ceil(64) * 64;
-        let limit = partition_base(class) + 0x2000_0000;
+        // The limit is the next region's base, so the latency partition can
+        // never silently grow into the stack.
+        let limit = partition_end(class);
         assert!(*cur <= limit, "heap partition overflow for {class}");
         va
     }
@@ -158,6 +214,11 @@ impl HeapLayout {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn layout_constants_validate() {
+        validate_layout().expect("the committed layout must be valid");
+    }
 
     #[test]
     fn segments_classified_by_range() {

@@ -1,14 +1,14 @@
 //! Per-process page table.
 
 use moca_common::addr::{PhysAddr, VirtAddr};
-use std::collections::HashMap;
+use moca_common::DetMap;
 
 /// A flat virtual→physical page map (the simulator's stand-in for the
 /// multi-level x86 table; the page-walk *cost* is modelled by the TLB-miss
 /// penalty in the core).
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    map: HashMap<u64, u64>,
+    map: DetMap<u64, u64>,
 }
 
 impl PageTable {

@@ -80,6 +80,27 @@ fn instrumented_run_captures_events_windows_and_histograms() {
         w.samples.iter().any(|(k, _)| k.starts_with("free_frames.")),
         "window samples must include frame-pool headroom"
     );
+    assert!(
+        w.samples.iter().any(|(k, _)| k.starts_with("bank_act.ch")),
+        "window samples must include per-bank occupancy tracks"
+    );
+    // One track per bank of every channel: config1 is RLDRAM(16) + HBM(64)
+    // + 2x LPDDR2(8) banks.
+    let bank_tracks = w
+        .samples
+        .iter()
+        .filter(|(k, _)| k.starts_with("bank_act."))
+        .count();
+    assert_eq!(bank_tracks, 16 + 64 + 8 + 8, "one track per bank");
+    // Activates happen somewhere in a real run's first window.
+    assert!(
+        tel.registry
+            .windows()
+            .iter()
+            .flat_map(|w| w.samples.iter())
+            .any(|(k, v)| k.starts_with("bank_act.") && *v > 0.0),
+        "some bank must record activates"
+    );
 
     let h = tel
         .registry
@@ -143,6 +164,16 @@ fn exported_trace_is_valid_chrome_trace_json() {
     }
     assert!(seen_instant, "trace must contain instant (event) entries");
     assert!(seen_counter, "trace must contain counter entries");
+    assert!(
+        events.iter().any(|ev| {
+            ev.get("ph").and_then(Value::as_str) == Some("C")
+                && ev
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .is_some_and(|n| n.starts_with("bank_act.ch"))
+        }),
+        "trace must contain per-bank occupancy counter tracks"
+    );
 
     // Classification verdicts from the pre-run emit land at cycle 0.
     assert!(events
