@@ -1,0 +1,73 @@
+//! `moca-bench`: simulator benchmarking entry point.
+//!
+//! ```text
+//! moca-bench perf [--quick] [--out FILE] [--compare FILE]
+//! ```
+//!
+//! `perf` runs the fixed cycle-engine basket (see `moca_bench::perf`) and
+//! writes `BENCH_cycle_engine.json`. With `--compare FILE` it also diffs
+//! against a committed baseline, prints the per-component delta table, and
+//! warns — without failing — when a memory-bound entry's cycles/host-second
+//! regressed by more than 20%.
+
+use moca_bench::perf;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: moca-bench perf [--quick] [--out FILE] [--compare FILE]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("perf") => {}
+        _ => usage(),
+    }
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_cycle_engine.json");
+    let mut compare: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--compare" => compare = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            _ => usage(),
+        }
+    }
+
+    let report = perf::run_perf(quick);
+    print!("{}", perf::render(&report));
+    if let Err(e) = perf::save(&report, &out) {
+        eprintln!("warning: could not save {}: {e}", out.display());
+    } else {
+        eprintln!("perf: report written to {}", out.display());
+    }
+
+    if let Some(base_path) = compare {
+        match perf::load(&base_path) {
+            Ok(base) => {
+                let regressed = perf::compare(&base, &report, 0.20);
+                for name in &regressed {
+                    // GitHub Actions picks `::warning::` up as an annotation;
+                    // everywhere else it is just a loud line. Warn, don't fail:
+                    // shared CI runners make wall-clock numbers noisy.
+                    println!(
+                        "::warning::moca-bench perf: {name} regressed >20% cycles/host-second vs {}",
+                        base_path.display()
+                    );
+                }
+                if regressed.is_empty() {
+                    println!(
+                        "perf: no memory-bound regression vs {}",
+                        base_path.display()
+                    );
+                }
+            }
+            Err(e) => eprintln!(
+                "warning: could not load baseline {}: {e}",
+                base_path.display()
+            ),
+        }
+    }
+}

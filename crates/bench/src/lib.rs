@@ -8,6 +8,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod microbench;
+pub mod perf;
 pub mod report;
 
 pub use harness::{Scale, SeededPipeline};

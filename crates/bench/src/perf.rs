@@ -1,0 +1,371 @@
+//! `moca-bench perf`: the cycle-engine performance-trajectory harness.
+//!
+//! Runs a fixed deterministic workload basket — a latency-bound chaser, a
+//! bandwidth-bound streamer, and a mixed four-program machine — and reports
+//! how fast the *simulator* runs them: wall seconds, simulated cycles per
+//! host second, peak RSS, and the per-component host-profile split from
+//! `moca-telemetry`. The JSON report (`BENCH_cycle_engine.json`) is
+//! committed so every PR has a measurable perf trajectory; CI compares
+//! fresh numbers against the committed baseline and warns on regressions.
+//!
+//! Timing runs use disabled telemetry (the production configuration);
+//! component shares come from a separate profiled run of the same basket
+//! entry so the `Instant::now` overhead never pollutes the timed numbers.
+
+use moca_sim::config::{HeterogeneousLayout, MemSystemConfig, SystemConfig};
+use moca_sim::system::{AppLaunch, System};
+use moca_telemetry::{NullSink, Telemetry};
+use moca_vm::policy::FirstTouchPolicy;
+use moca_workloads::{app_by_name, InputSet};
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// Schema tag written into every report so future format changes are
+/// detectable by the comparator.
+pub const PERF_SCHEMA: &str = "moca-bench-perf/v1";
+
+/// One basket entry: a workload mix on a memory system.
+struct BasketSpec {
+    name: &'static str,
+    /// What limits the workload ("latency" / "bandwidth" / "mixed").
+    bound: &'static str,
+    /// Whether the entry spends most of its simulated time memory-stalled —
+    /// these are the entries the event-skip path dominates, and the ones
+    /// the CI regression gate watches.
+    memory_bound: bool,
+    apps: &'static [&'static str],
+    mem: fn() -> MemSystemConfig,
+}
+
+/// The fixed basket. Order is part of the report format.
+fn basket() -> Vec<BasketSpec> {
+    vec![
+        BasketSpec {
+            name: "mcf-ddr3",
+            bound: "latency",
+            memory_bound: true,
+            apps: &["mcf"],
+            mem: || MemSystemConfig::Homogeneous(moca_common::ModuleKind::Ddr3),
+        },
+        BasketSpec {
+            name: "lbm-ddr3",
+            bound: "bandwidth",
+            memory_bound: true,
+            apps: &["lbm"],
+            mem: || MemSystemConfig::Homogeneous(moca_common::ModuleKind::Ddr3),
+        },
+        BasketSpec {
+            name: "mix-heter",
+            bound: "mixed",
+            memory_bound: false,
+            apps: &["mcf", "lbm", "gcc", "sift"],
+            mem: || MemSystemConfig::Heterogeneous(HeterogeneousLayout::config1()),
+        },
+    ]
+}
+
+/// Per-component share of profiled host time, as fractions of their sum.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ComponentShares {
+    /// Core execute/commit ticks (includes cache lookups issued by cores).
+    pub cpu: f64,
+    /// DRAM channel ticks.
+    pub dram: f64,
+    /// Deferred writeback flushing.
+    pub cache: f64,
+    /// Virtual-memory work (migration epochs).
+    pub vm: f64,
+}
+
+/// One timed basket entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfEntry {
+    /// Basket entry name.
+    pub name: String,
+    /// "latency" / "bandwidth" / "mixed".
+    pub bound: String,
+    /// Entry participates in the CI regression gate.
+    pub memory_bound: bool,
+    /// Instructions per core in the timed run.
+    pub instr_target: u64,
+    /// Simulated cycles of the measured window.
+    pub sim_cycles: u64,
+    /// Host wall seconds for the timed (untraced) run.
+    pub wall_seconds: f64,
+    /// The headline throughput number: `sim_cycles / wall_seconds`.
+    pub cycles_per_host_second: f64,
+    /// Peak resident set size after this entry, in KiB (0 where
+    /// unavailable). Cumulative per process, so only the max matters.
+    pub peak_rss_kb: u64,
+    /// Host-profile split from a separate instrumented run.
+    pub components: ComponentShares,
+}
+
+/// The whole report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Format tag ([`PERF_SCHEMA`]).
+    pub schema: String,
+    /// "quick" or "full".
+    pub scale: String,
+    /// Basket entries in fixed order.
+    pub entries: Vec<PerfEntry>,
+}
+
+fn build_system(spec: &BasketSpec, tel: Telemetry) -> System {
+    let mem = (spec.mem)();
+    let cfg = if spec.apps.len() == 1 {
+        SystemConfig::single_core(mem)
+    } else {
+        assert_eq!(spec.apps.len(), 4, "basket mixes are 1- or 4-core");
+        SystemConfig::quad_core(mem)
+    };
+    let launches = spec
+        .apps
+        .iter()
+        .map(|n| AppLaunch::untyped(app_by_name(n), InputSet::reference()))
+        .collect();
+    System::new_with_telemetry(cfg, launches, Box::new(FirstTouchPolicy), tel)
+}
+
+/// Peak RSS of this process in KiB (`VmHWM` from procfs; 0 elsewhere).
+fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(s) = std::fs::read_to_string("/proc/self/status") {
+            for line in s.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    return rest
+                        .trim()
+                        .trim_end_matches(" kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                }
+            }
+        }
+    }
+    0
+}
+
+/// Run the basket at `quick` or full scale and collect the report.
+pub fn run_perf(quick: bool) -> PerfReport {
+    let instr_target: u64 = if quick { 250_000 } else { 1_500_000 };
+    let mut entries = Vec::new();
+    for spec in basket() {
+        eprintln!("perf: {} ({} instrs/core) ...", spec.name, instr_target);
+        // Timed run: telemetry disabled, exactly the production engine path.
+        let mut sys = build_system(&spec, Telemetry::disabled());
+        let t0 = std::time::Instant::now();
+        let r = sys.run(instr_target);
+        let wall = t0.elapsed().as_secs_f64();
+
+        // Profiled run: same entry with host profiling, for the component
+        // split only (its wall time is not reported).
+        let tel = Telemetry::with_sink(Box::new(NullSink)).with_host_profiling();
+        let mut psys = build_system(&spec, tel);
+        psys.run(instr_target);
+        let comp = psys.take_telemetry().components;
+        let total = comp.total().as_secs_f64();
+        let share = |d: std::time::Duration| {
+            if total > 0.0 {
+                d.as_secs_f64() / total
+            } else {
+                0.0
+            }
+        };
+
+        let cycles = r.runtime_cycles;
+        entries.push(PerfEntry {
+            name: spec.name.to_string(),
+            bound: spec.bound.to_string(),
+            memory_bound: spec.memory_bound,
+            instr_target,
+            sim_cycles: cycles,
+            wall_seconds: wall,
+            cycles_per_host_second: if wall > 0.0 {
+                cycles as f64 / wall
+            } else {
+                0.0
+            },
+            peak_rss_kb: peak_rss_kb(),
+            components: ComponentShares {
+                cpu: share(comp.cpu),
+                dram: share(comp.dram),
+                cache: share(comp.cache),
+                vm: share(comp.vm),
+            },
+        });
+        eprintln!(
+            "perf: {}: {} sim cycles in {:.3}s = {:.2} Mcyc/s",
+            spec.name,
+            cycles,
+            wall,
+            cycles as f64 / wall.max(1e-9) / 1e6
+        );
+    }
+    PerfReport {
+        schema: PERF_SCHEMA.to_string(),
+        scale: if quick { "quick" } else { "full" }.to_string(),
+        entries,
+    }
+}
+
+/// Render the report as an aligned text table.
+pub fn render(report: &PerfReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "moca-bench perf ({} scale)\n{:<12} {:>10} {:>12} {:>9} {:>12}  {}\n",
+        report.scale, "entry", "bound", "sim-cycles", "wall-s", "Mcyc/s", "cpu/dram/cache/vm"
+    ));
+    for e in &report.entries {
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>12} {:>9.3} {:>12.2}  {:.0}%/{:.0}%/{:.0}%/{:.0}%\n",
+            e.name,
+            e.bound,
+            e.sim_cycles,
+            e.wall_seconds,
+            e.cycles_per_host_second / 1e6,
+            e.components.cpu * 100.0,
+            e.components.dram * 100.0,
+            e.components.cache * 100.0,
+            e.components.vm * 100.0,
+        ));
+    }
+    out
+}
+
+/// Save the report as pretty-printed JSON.
+pub fn save(report: &PerfReport, path: &Path) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(report).expect("perf report serializes");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json.as_bytes())?;
+    f.write_all(b"\n")
+}
+
+/// Load a committed report.
+pub fn load(path: &Path) -> std::io::Result<PerfReport> {
+    let s = std::fs::read_to_string(path)?;
+    serde_json::from_str(&s)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Compare `fresh` against a committed `baseline`: print the per-entry and
+/// per-component delta table and return the names of memory-bound entries
+/// whose cycles/host-second regressed by more than `threshold` (0.20 =
+/// 20%). The caller decides whether that's a warning or an error.
+pub fn compare(baseline: &PerfReport, fresh: &PerfReport, threshold: f64) -> Vec<String> {
+    let mut regressed = Vec::new();
+    println!(
+        "{:<12} {:>14} {:>14} {:>8}   component shares (cpu/dram/cache/vm) base -> now",
+        "entry", "base Mcyc/s", "now Mcyc/s", "delta"
+    );
+    for e in &fresh.entries {
+        let Some(b) = baseline.entries.iter().find(|b| b.name == e.name) else {
+            println!("{:<12} (new entry, no baseline)", e.name);
+            continue;
+        };
+        let ratio = if b.cycles_per_host_second > 0.0 {
+            e.cycles_per_host_second / b.cycles_per_host_second
+        } else {
+            1.0
+        };
+        println!(
+            "{:<12} {:>14.2} {:>14.2} {:>+7.1}%   {:.0}/{:.0}/{:.0}/{:.0}% -> {:.0}/{:.0}/{:.0}/{:.0}%",
+            e.name,
+            b.cycles_per_host_second / 1e6,
+            e.cycles_per_host_second / 1e6,
+            (ratio - 1.0) * 100.0,
+            b.components.cpu * 100.0,
+            b.components.dram * 100.0,
+            b.components.cache * 100.0,
+            b.components.vm * 100.0,
+            e.components.cpu * 100.0,
+            e.components.dram * 100.0,
+            e.components.cache * 100.0,
+            e.components.vm * 100.0,
+        );
+        if e.memory_bound && ratio < 1.0 - threshold {
+            regressed.push(e.name.clone());
+        }
+    }
+    regressed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basket_shape_is_fixed() {
+        let b = basket();
+        assert_eq!(b.len(), 3);
+        assert!(b[0].memory_bound && b[1].memory_bound && !b[2].memory_bound);
+        assert_eq!(b[0].bound, "latency");
+        assert_eq!(b[1].bound, "bandwidth");
+        assert_eq!(b[2].apps.len(), 4);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = PerfReport {
+            schema: PERF_SCHEMA.into(),
+            scale: "quick".into(),
+            entries: vec![PerfEntry {
+                name: "mcf-ddr3".into(),
+                bound: "latency".into(),
+                memory_bound: true,
+                instr_target: 1000,
+                sim_cycles: 123456,
+                wall_seconds: 0.5,
+                cycles_per_host_second: 246912.0,
+                peak_rss_kb: 4096,
+                components: ComponentShares {
+                    cpu: 0.5,
+                    dram: 0.3,
+                    cache: 0.15,
+                    vm: 0.05,
+                },
+            }],
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entries[0].name, "mcf-ddr3");
+        assert_eq!(back.entries[0].sim_cycles, 123456);
+    }
+
+    #[test]
+    fn compare_flags_only_memory_bound_regressions() {
+        let mk = |cps: f64, membound: bool| PerfEntry {
+            name: if membound { "m" } else { "x" }.into(),
+            bound: "latency".into(),
+            memory_bound: membound,
+            instr_target: 1,
+            sim_cycles: 1,
+            wall_seconds: 1.0,
+            cycles_per_host_second: cps,
+            peak_rss_kb: 0,
+            components: ComponentShares::default(),
+        };
+        let base = PerfReport {
+            schema: PERF_SCHEMA.into(),
+            scale: "quick".into(),
+            entries: vec![mk(100.0, true), mk(100.0, false)],
+        };
+        let fresh = PerfReport {
+            schema: PERF_SCHEMA.into(),
+            scale: "quick".into(),
+            entries: vec![mk(70.0, true), mk(70.0, false)],
+        };
+        let reg = compare(&base, &fresh, 0.20);
+        assert_eq!(reg, vec!["m".to_string()]);
+        // A 10% dip stays under the 20% gate.
+        let ok = PerfReport {
+            schema: PERF_SCHEMA.into(),
+            scale: "quick".into(),
+            entries: vec![mk(90.0, true)],
+        };
+        assert!(compare(&base, &ok, 0.20).is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Golden-digest determinism gate for the cycle engine.
+//!
+//! Runs every `SystemConfig` memory system (the four homogeneous machines
+//! and all three heterogeneous layouts) on a small fixed workload mix and
+//! checks an FNV-1a digest of the numeric `RunResult` fields against
+//! constants captured from the reference engine. Any change to simulated
+//! behaviour — scheduler, DRAM timing, cache bookkeeping, page placement —
+//! shows up here as a digest mismatch.
+//!
+//! These constants are the acceptance gate for performance work on the
+//! engine hot path: optimisations must leave every digest bit-identical.
+//! If a digest changes *intentionally* (a modelling fix), regenerate the
+//! constants from the failure message and say why in the commit.
+
+use moca_common::ModuleKind;
+use moca_sim::config::{HeterogeneousLayout, MemSystemConfig, SystemConfig};
+use moca_sim::metrics::RunResult;
+use moca_sim::system::{AppLaunch, System};
+use moca_vm::policy::FirstTouchPolicy;
+use moca_workloads::{app_by_name, InputSet};
+
+/// Small enough to keep the seven quad-core runs fast in debug tests,
+/// large enough that every subsystem (refresh, write drain, event skip,
+/// window freeze ordering) is exercised.
+const INSTR_TARGET: u64 = 12_000;
+
+/// FNV-1a 64-bit running hash (no external deps, stable across platforms).
+struct Digest {
+    h: u64,
+}
+
+impl Digest {
+    fn new() -> Digest {
+        Digest {
+            h: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    fn word(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.h ^= b as u64;
+            self.h = self.h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Digest every integer field of a run that the simulation determines:
+/// per-core pipeline statistics, memory-controller statistics, and the
+/// placement total. Host-side quantities (wall time, energy floats derived
+/// from these integers) are excluded.
+fn digest(r: &RunResult) -> u64 {
+    let mut d = Digest::new();
+    d.word(r.runtime_cycles);
+    for c in &r.per_core {
+        d.word(c.stats.committed);
+        d.word(c.stats.cycles);
+        d.word(c.stats.head_stall_cycles);
+        d.word(c.stats.loads);
+        d.word(c.stats.stores);
+        d.word(c.stats.mispredicts);
+        d.word(c.stats.rob_full_cycles);
+        d.word(c.stats.lq_full_cycles);
+        d.word(c.finished_at);
+    }
+    d.word(r.mem.reads);
+    d.word(r.mem.total_read_latency_cycles);
+    for &l in &r.mem.per_core_read_latency {
+        d.word(l);
+    }
+    for ch in &r.mem.channels {
+        d.word(ch.stats.reads);
+        d.word(ch.stats.writes);
+        d.word(ch.stats.row_hits);
+        d.word(ch.stats.activates);
+        d.word(ch.stats.busy_cycles);
+        d.word(ch.stats.read_queue_cycles);
+        d.word(ch.stats.read_service_cycles);
+        d.word(ch.stats.refreshes);
+    }
+    d.word(r.placement.total_pages());
+    d.h
+}
+
+/// The seven memory systems a `SystemConfig` can describe.
+fn all_mem_systems() -> Vec<(&'static str, MemSystemConfig)> {
+    vec![
+        (
+            "Homogen-DDR3",
+            MemSystemConfig::Homogeneous(ModuleKind::Ddr3),
+        ),
+        (
+            "Homogen-RL",
+            MemSystemConfig::Homogeneous(ModuleKind::Rldram3),
+        ),
+        ("Homogen-HBM", MemSystemConfig::Homogeneous(ModuleKind::Hbm)),
+        (
+            "Homogen-LP",
+            MemSystemConfig::Homogeneous(ModuleKind::Lpddr2),
+        ),
+        (
+            "Heter-config1",
+            MemSystemConfig::Heterogeneous(HeterogeneousLayout::config1()),
+        ),
+        (
+            "Heter-config2",
+            MemSystemConfig::Heterogeneous(HeterogeneousLayout::config2()),
+        ),
+        (
+            "Heter-config3",
+            MemSystemConfig::Heterogeneous(HeterogeneousLayout::config3()),
+        ),
+    ]
+}
+
+fn run_digest(mem: MemSystemConfig) -> u64 {
+    let cfg = SystemConfig::quad_core(mem);
+    let launches = ["mcf", "lbm", "gcc", "sift"]
+        .iter()
+        .map(|n| AppLaunch::untyped(app_by_name(n), InputSet::reference()))
+        .collect();
+    let mut sys = System::new(cfg, launches, Box::new(FirstTouchPolicy));
+    digest(&sys.run(INSTR_TARGET))
+}
+
+/// Reference digests, captured from the engine as of this test's
+/// introduction (quad-core mcf/lbm/gcc/sift, 12k instructions per core).
+const GOLDEN: &[(&str, u64)] = &[
+    ("Homogen-DDR3", 0x4f941fdc46a9f542),
+    ("Homogen-RL", 0xc3e0039dc8bc44e7),
+    ("Homogen-HBM", 0xeecad67d0ddde146),
+    ("Homogen-LP", 0xd4271849e9f017b3),
+    ("Heter-config1", 0x944a5f5c369012b1),
+    ("Heter-config2", 0x52f90524bb82364a),
+    ("Heter-config3", 0xac4c83cab814dc7f),
+];
+
+#[test]
+fn golden_digests_unchanged_across_all_seven_configs() {
+    let mut failures = Vec::new();
+    for (name, mem) in all_mem_systems() {
+        let got = run_digest(mem);
+        let want = GOLDEN
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("no golden entry for {name}"))
+            .1;
+        if got != want {
+            failures.push(format!("(\"{name}\", {got:#018x}),"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "simulation results changed; if intentional, update GOLDEN to:\n{}",
+        failures.join("\n")
+    );
+}
