@@ -19,6 +19,7 @@
 //! | `wall-clock`     | all except `telemetry`/`bench` | `std::time::Instant` / `SystemTime`, thread spawning |
 //! | `unseeded-rng`   | everywhere                     | ambient randomness (`thread_rng`, `from_entropy`, …) |
 //! | `narrowing-cast` | simulated-path crates          | bare `as u32`/`as usize`/… on cycle/address-flavored expressions (use [`moca_common::units::narrow_u32`]) |
+//! | `hot-alloc`      | simulated-path crates          | heap allocation (`Vec::new()`, `vec![…]`, `format!`, `.to_string()`, `.collect::<Vec<…>>`) inside per-cycle hot functions (`fn tick*` / `fn step` / `fn on_completion*`) |
 //!
 //! A finding is suppressed by an inline pragma on the same line or the line
 //! above — `// moca-lint: allow(<rule>): <justification>` (the justification
@@ -55,6 +56,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "narrowing-cast",
         "bare `as` narrowing on cycle/address-typed expressions; use moca_common::units::narrow_*",
+    ),
+    (
+        "hot-alloc",
+        "heap allocation inside per-cycle hot functions; hoist a reusable buffer to the owning struct",
     ),
 ];
 
@@ -284,6 +289,74 @@ const NARROWING_MARKERS: &[&str] = &[
 /// Narrowing cast targets the rule watches for.
 const NARROWING_CASTS: &[&str] = &["as u32", "as u16", "as u8", "as usize"];
 
+/// Allocation tokens the `hot-alloc` rule watches for inside hot functions.
+const HOT_ALLOC_TOKENS: &[&str] = &[
+    "Vec::new",
+    "vec![",
+    ".to_string()",
+    "format!",
+    ".collect::<Vec",
+];
+
+/// If `line` declares a function the `hot-alloc` rule treats as hot —
+/// a per-cycle/simulation entry point (`tick*`, `step`, `on_completion*`)
+/// — return its name.
+pub fn hot_fn_name(line: &str) -> Option<&str> {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut search = 0;
+    while let Some(pos) = line[search..].find("fn ") {
+        let at = search + pos;
+        search = at + 3;
+        if at > 0 && line[..at].chars().next_back().is_some_and(is_ident) {
+            continue; // e.g. `often `
+        }
+        let rest = &line[at + 3..];
+        let name_len = rest.chars().take_while(|&c| is_ident(c)).count();
+        let name = &rest[..name_len];
+        if name.starts_with("tick") || name == "step" || name.starts_with("on_completion") {
+            return Some(name);
+        }
+    }
+    None
+}
+
+/// For each stripped source line, the name of the enclosing hot function
+/// (see [`hot_fn_name`]), tracked by brace depth. A line partially inside
+/// a hot body (e.g. the closing `}` line) counts as inside.
+fn hot_spans<'a>(code: &'a [String]) -> Vec<Option<&'a str>> {
+    let mut out: Vec<Option<&'a str>> = vec![None; code.len()];
+    let mut depth: i64 = 0;
+    // (name, depth of the fn body's opening brace)
+    let mut stack: Vec<(&str, i64)> = Vec::new();
+    let mut pending: Option<&str> = None;
+    for (ln, line) in code.iter().enumerate() {
+        if let Some(name) = hot_fn_name(line) {
+            pending = Some(name);
+        }
+        let mut line_hot = stack.last().map(|&(n, _)| n);
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some(name) = pending.take() {
+                        stack.push((name, depth));
+                        line_hot.get_or_insert(name);
+                    }
+                }
+                '}' => {
+                    if stack.last().is_some_and(|&(_, d)| d == depth) {
+                        stack.pop();
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        out[ln] = line_hot;
+    }
+    out
+}
+
 /// Wall-clock / threading tokens.
 const WALL_CLOCK_TOKENS: &[&str] = &["Instant", "SystemTime"];
 const THREAD_TOKENS: &[&str] = &["thread::spawn", "thread::scope", "thread::sleep"];
@@ -307,6 +380,11 @@ pub fn scan_file(crate_name: &str, rel: &Path, raw: &str) -> Vec<Finding> {
     let code = strip_code(raw);
     let sim_path = SIM_PATH_CRATES.contains(&crate_name);
     let clock_checked = !WALL_CLOCK_EXEMPT_CRATES.contains(&crate_name);
+    let hot = if sim_path {
+        hot_spans(&code)
+    } else {
+        Vec::new()
+    };
     let mut findings = Vec::new();
 
     let mut push = |rule: &'static str, ln: usize, message: String| {
@@ -396,6 +474,22 @@ pub fn scan_file(crate_name: &str, rel: &Path, raw: &str) -> Vec<Finding> {
                             casts[0]
                         ),
                     );
+                }
+            }
+            if let Some(fn_name) = hot[ln] {
+                for tok in HOT_ALLOC_TOKENS {
+                    if line.contains(tok) {
+                        push(
+                            "hot-alloc",
+                            ln,
+                            format!(
+                                "`{tok}` allocates inside per-cycle hot function \
+                                 `{fn_name}`; hoist a reusable buffer to the owning \
+                                 struct (cf. System::woken_buf) or justify with a pragma"
+                            ),
+                        );
+                        break;
+                    }
                 }
             }
         }

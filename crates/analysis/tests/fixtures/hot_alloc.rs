@@ -1,0 +1,21 @@
+//! Fixture for the hot-alloc rule: allocation tokens inside hot functions.
+
+pub fn tick(&mut self, now: u64) {
+    let mut woken = Vec::new();
+    let q = vec![1, 2, 3];
+}
+
+pub fn on_completion_into(&mut self) {
+    let label = self.name.to_string();
+}
+
+pub fn setup() {
+    let cold = Vec::new();
+}
+
+pub fn step(&mut self) {
+    // moca-lint: allow(hot-alloc): drained once per epoch, not per cycle
+    let scratch = vec![0u8; 64];
+    let msg = format!("cycle {}", self.now);
+    let ids = xs.iter().collect::<Vec<_>>();
+}

@@ -87,6 +87,40 @@ fn narrowing_cast_rule_needs_a_u64_flavored_marker() {
 }
 
 #[test]
+fn hot_alloc_rule_flags_allocation_only_inside_hot_functions() {
+    let f = scan_fixture("cache", "hot_alloc.rs");
+    // Flagged: Vec::new and vec![ in `tick`, .to_string() in
+    // `on_completion_into`, format! and collect::<Vec<_>> in `step`.
+    // Not flagged: the allocation in cold `setup`; the pragma-suppressed
+    // vec![ in `step`.
+    assert_eq!(lines_of(&f, "hot-alloc"), vec![4, 5, 9, 19, 20]);
+}
+
+#[test]
+fn hot_alloc_rule_is_scoped_to_sim_path_crates() {
+    let f = scan_fixture("telemetry", "hot_alloc.rs");
+    assert!(
+        lines_of(&f, "hot-alloc").is_empty(),
+        "hot-alloc must not apply outside simulated-path crates"
+    );
+}
+
+#[test]
+fn hot_fn_detection_respects_identifier_boundaries() {
+    use moca_lint::hot_fn_name;
+    assert_eq!(hot_fn_name("pub fn tick(&mut self) {"), Some("tick"));
+    assert_eq!(hot_fn_name("fn tick_impl(&mut self,"), Some("tick_impl"));
+    assert_eq!(hot_fn_name("pub(crate) fn step(&mut self)"), Some("step"));
+    assert_eq!(
+        hot_fn_name("fn on_completion_into("),
+        Some("on_completion_into")
+    );
+    assert_eq!(hot_fn_name("fn step_count(&self)"), None);
+    assert_eq!(hot_fn_name("fn sticker()"), None);
+    assert_eq!(hot_fn_name("let often = 3;"), None);
+}
+
+#[test]
 fn pragmas_suppress_on_same_line_or_line_above_with_justification() {
     let f = scan_fixture("sim", "pragmas.rs");
     // Suppressed: same-line pragma (line 2), line-above pragma (line 5).

@@ -1,11 +1,15 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] [--trace FILE] [--metrics-window N] <target>...
+//! repro [--quick] [--jobs N] [--out DIR] [--trace FILE] [--metrics-window N] <target>...
 //!
 //! targets: table1 table2 table3 fig1 fig2 fig5 fig8 fig9 fig10 fig11
 //!          fig12 fig13 fig14 fig15 fig16 thresholds migration ablations all
 //! ```
+//!
+//! `--jobs N` caps the host worker threads used to fan simulations out
+//! (also settable via the `MOCA_JOBS` environment variable; the flag wins).
+//! Results are bit-identical regardless of the worker count.
 //!
 //! Results are printed as aligned tables and saved as JSON under `--out`
 //! (default `results/`). Progress lines go to stderr and to
@@ -27,7 +31,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--out DIR] [--trace FILE] [--metrics-window N] <target>...\n\
+        "usage: repro [--quick] [--jobs N] [--out DIR] [--trace FILE] [--metrics-window N] <target>...\n\
          targets: table1 table2 table3 fig1 fig2 fig5 fig8 fig9 fig10 fig11 \
          fig12 fig13 fig14 fig15 fig16 thresholds migration ablations all"
     );
@@ -44,6 +48,18 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => scale = Scale::Quick,
+            "--jobs" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                match n.parse::<usize>() {
+                    // The fan-out helpers read MOCA_JOBS at each call site;
+                    // exporting it here makes the flag reach all of them.
+                    Ok(v) if v > 0 => std::env::set_var("MOCA_JOBS", v.to_string()),
+                    _ => {
+                        eprintln!("repro: --jobs wants a positive thread count, got {n:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--out" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--metrics-window" => {

@@ -4,8 +4,15 @@
 //! (Table I: 4 for L1, 20 for L2) and merges secondary misses to the same
 //! line. The MSHR count is what limits a core's memory-level parallelism —
 //! the property the MOCA classifier measures through ROB-head stalls.
+//!
+//! The file is a fixed array of `capacity` slots searched linearly: with
+//! 4–20 entries a scan over a flat array beats any tree or hash map, and
+//! the search order never leaks into simulated behaviour (lookups are by
+//! exact line, and the outcome of `on_miss`/`complete` is independent of
+//! which slot a line occupies), so determinism is preserved without the
+//! ordered map the rest of the simulator uses.
 
-use moca_common::{DetMap, LineAddr};
+use moca_common::LineAddr;
 
 /// Outcome of presenting a miss to the MSHR file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,12 +27,21 @@ pub enum MshrOutcome {
     Full,
 }
 
+/// One register: a line with its waiter list. Invalid slots keep their
+/// waiter `Vec` so its allocation is reused for the lifetime of the file.
+#[derive(Debug, Clone)]
+struct Slot<W> {
+    valid: bool,
+    line: LineAddr,
+    waiters: Vec<W>,
+}
+
 /// MSHR file with per-line waiter lists. `W` is the caller's waiter token
 /// (e.g. a ROB slot or an upper-level transaction id).
 #[derive(Debug, Clone)]
 pub struct MshrFile<W> {
-    capacity: usize,
-    entries: DetMap<LineAddr, Vec<W>>,
+    slots: Vec<Slot<W>>,
+    occupancy: usize,
     peak_occupancy: usize,
     merges: u64,
     full_stalls: u64,
@@ -36,49 +52,83 @@ impl<W> MshrFile<W> {
     pub fn new(capacity: usize) -> MshrFile<W> {
         assert!(capacity > 0);
         MshrFile {
-            capacity,
-            entries: DetMap::new(),
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    valid: false,
+                    line: LineAddr(0),
+                    waiters: Vec::new(),
+                })
+                .collect(),
+            occupancy: 0,
             peak_occupancy: 0,
             merges: 0,
             full_stalls: 0,
         }
     }
 
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        self.slots.iter().position(|s| s.valid && s.line == line)
+    }
+
     /// Present a miss on `line` with waiter `w`.
     pub fn on_miss(&mut self, line: LineAddr, w: W) -> MshrOutcome {
-        if let Some(waiters) = self.entries.get_mut(&line) {
-            waiters.push(w);
+        if let Some(i) = self.find(line) {
+            self.slots[i].waiters.push(w);
             self.merges += 1;
             return MshrOutcome::MergedSecondary;
         }
-        if self.entries.len() >= self.capacity {
+        if self.occupancy >= self.slots.len() {
             self.full_stalls += 1;
             return MshrOutcome::Full;
         }
-        self.entries.insert(line, vec![w]);
-        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        let free = self
+            .slots
+            .iter()
+            .position(|s| !s.valid)
+            .expect("occupancy below capacity implies a free slot");
+        let slot = &mut self.slots[free];
+        slot.valid = true;
+        slot.line = line;
+        slot.waiters.push(w);
+        self.occupancy += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.occupancy);
         MshrOutcome::AllocatedPrimary
     }
 
     /// Complete the miss on `line`, returning its waiters (empty vec if the
     /// line had no entry — e.g. a prefetch or a duplicate completion).
     pub fn complete(&mut self, line: LineAddr) -> Vec<W> {
-        self.entries.remove(&line).unwrap_or_default()
+        let mut out = Vec::new();
+        self.complete_into(line, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`MshrFile::complete`]: appends the
+    /// waiters to `out`, preserving both `out`'s and the slot's capacity.
+    /// This is the hot-path entry point (the fill path runs once per
+    /// off-chip completion).
+    pub fn complete_into(&mut self, line: LineAddr, out: &mut Vec<W>) {
+        if let Some(i) = self.find(line) {
+            let slot = &mut self.slots[i];
+            slot.valid = false;
+            out.append(&mut slot.waiters);
+            self.occupancy -= 1;
+        }
     }
 
     /// Whether `line` has an outstanding entry.
     pub fn pending(&self, line: LineAddr) -> bool {
-        self.entries.contains_key(&line)
+        self.find(line).is_some()
     }
 
     /// Whether no further primary misses can be accepted.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.occupancy >= self.slots.len()
     }
 
     /// Current number of outstanding primary misses.
     pub fn occupancy(&self) -> usize {
-        self.entries.len()
+        self.occupancy
     }
 
     /// Highest occupancy seen.
@@ -149,5 +199,19 @@ mod tests {
     fn complete_unknown_line_is_empty() {
         let mut m: MshrFile<u32> = MshrFile::new(1);
         assert!(m.complete(LineAddr(99)).is_empty());
+    }
+
+    #[test]
+    fn complete_into_appends_and_reuses_slot() {
+        let mut m: MshrFile<u32> = MshrFile::new(2);
+        m.on_miss(LineAddr(1), 10);
+        m.on_miss(LineAddr(1), 11);
+        let mut out = vec![9];
+        m.complete_into(LineAddr(1), &mut out);
+        assert_eq!(out, vec![9, 10, 11]);
+        // The slot is free again and merges still work after reuse.
+        assert_eq!(m.on_miss(LineAddr(5), 1), MshrOutcome::AllocatedPrimary);
+        assert_eq!(m.on_miss(LineAddr(5), 2), MshrOutcome::MergedSecondary);
+        assert_eq!(m.complete(LineAddr(5)), vec![1, 2]);
     }
 }

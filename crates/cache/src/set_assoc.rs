@@ -106,6 +106,12 @@ pub struct SetAssocCache {
     cfg: CacheConfig,
     sets: Vec<Way>,
     set_count: u64,
+    /// `set_count - 1`; the set count is asserted to be a power of two, so
+    /// set selection is a mask and tag extraction a shift. `index` runs on
+    /// every demand access at every level, where a 64-bit divide is
+    /// measurable.
+    set_mask: u64,
+    set_shift: u32,
     ways: usize,
     clock: u64,
     stats: CacheStats,
@@ -124,6 +130,8 @@ impl SetAssocCache {
         SetAssocCache {
             sets: vec![Way::default(); (set_count as usize) * ways],
             set_count,
+            set_mask: set_count - 1,
+            set_shift: set_count.trailing_zeros(),
             ways,
             clock: 0,
             cfg,
@@ -143,8 +151,8 @@ impl SetAssocCache {
 
     #[inline]
     fn index(&self, line: LineAddr) -> (usize, u64) {
-        let set = narrow_usize(line.0 % self.set_count);
-        let tag = line.0 / self.set_count;
+        let set = narrow_usize(line.0 & self.set_mask);
+        let tag = line.0 >> self.set_shift;
         (set * self.ways, tag)
     }
 

@@ -3,7 +3,6 @@
 use crate::instr::{Instr, InstrStream};
 use crate::stats::CoreStats;
 use moca_common::ids::MemTag;
-use moca_common::DetMap;
 use moca_common::{CoreId, Cycle, Segment, VirtAddr};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -100,15 +99,19 @@ pub struct Core {
     cfg: CoreConfig,
     rob: VecDeque<RobEntry>,
     waiting: Vec<WaitingLoad>,
-    tickets: DetMap<u64, u64>,
+    /// Outstanding miss tickets → ROB sequence numbers. A flat vector, not
+    /// an ordered map: lookups are by exact ticket and the slot order is
+    /// never observable, while the population (bounded by the L2 MSHR
+    /// count) is small enough that a linear scan beats any tree.
+    tickets: Vec<(u64, u64)>,
     ifetch_ticket: Option<u64>,
     lq_used: usize,
     next_seq: u64,
     /// Last load sequence number per dependence chain: an address-dependent
     /// load waits on the previous load *of its chain* (a pointer chase is
     /// one chain; unrelated loads interleaved by the OoO engine do not
-    /// break it).
-    last_load_by_chain: DetMap<u16, u64>,
+    /// break it). Flat `(chain, seq)` pairs, exact-key lookups only.
+    last_load_by_chain: Vec<(u16, u64)>,
     dispatch_blocked_until: Cycle,
     fetch_blocked_until: Cycle,
     pc: u64,
@@ -129,11 +132,11 @@ impl Core {
             cfg,
             rob: VecDeque::new(),
             waiting: Vec::new(),
-            tickets: DetMap::new(),
+            tickets: Vec::new(),
             ifetch_ticket: None,
             lq_used: 0,
             next_seq: 0,
-            last_load_by_chain: DetMap::new(),
+            last_load_by_chain: Vec::new(),
             dispatch_blocked_until: 0,
             fetch_blocked_until: 0,
             pc,
@@ -244,13 +247,98 @@ impl Core {
         best
     }
 
+    /// Combined scheduler query for the event-skip path: `None` when the
+    /// core can make progress at `now` (equivalent to
+    /// `!blocked_on_memory(now)`); otherwise `Some(e)` where `e` is the
+    /// earliest core-local cycle that could unblock it, or `Cycle::MAX`
+    /// when only a memory completion can. One pass over the waiting set
+    /// instead of the two that calling [`Core::blocked_on_memory`] and
+    /// [`Core::next_local_event`] separately would take; debug builds
+    /// cross-check against both.
+    pub fn sleep_state(&self, now: Cycle) -> Option<Cycle> {
+        let state = self.sleep_state_impl(now);
+        #[cfg(debug_assertions)]
+        {
+            debug_assert_eq!(
+                state.is_some(),
+                self.blocked_on_memory(now),
+                "sleep_state blocked-bit diverged from blocked_on_memory"
+            );
+            if state.is_some() {
+                debug_assert_eq!(
+                    state,
+                    Some(self.next_local_event(now).unwrap_or(Cycle::MAX)),
+                    "sleep_state wake cycle diverged from next_local_event"
+                );
+            }
+        }
+        state
+    }
+
+    fn sleep_state_impl(&self, now: Cycle) -> Option<Cycle> {
+        if self.finished() {
+            return None;
+        }
+        let mut next = Cycle::MAX;
+        if let Some(h) = self.rob.front() {
+            if h.done {
+                if h.ready_at <= now {
+                    return None; // committable head
+                }
+                next = next.min(h.ready_at);
+            }
+        }
+        for w in &self.waiting {
+            match w.dep_seq {
+                None => return None, // issuable immediately
+                Some(seq) => match self.find(seq) {
+                    None => return None, // dependency already committed
+                    Some(e) if e.done => {
+                        if e.ready_at <= now {
+                            return None; // dependency resolved
+                        }
+                        next = next.min(e.ready_at);
+                    }
+                    Some(_) => {}
+                },
+            }
+        }
+        if self.can_dispatch_something(now) {
+            return None;
+        }
+        if self.dispatch_blocked_until > now {
+            next = next.min(self.dispatch_blocked_until);
+        }
+        if self.fetch_blocked_until > now {
+            next = next.min(self.fetch_blocked_until);
+        }
+        Some(next)
+    }
+
+    /// ROB lookup by sequence number. Sequence numbers are handed out
+    /// consecutively at dispatch and entries retire in order from the
+    /// front, so entry `seq` lives at offset `seq - front.seq` — an O(1)
+    /// index computation instead of a binary search. This runs once per
+    /// waiting load per tick (issue scan and `sleep_state`), which made
+    /// the search the hottest comparison loop in the core model.
     fn find(&self, seq: u64) -> Option<&RobEntry> {
-        let idx = self.rob.partition_point(|e| e.seq < seq);
-        self.rob.get(idx).filter(|e| e.seq == seq)
+        let front = self.rob.front()?.seq;
+        let idx = usize::try_from(seq.checked_sub(front)?).ok()?;
+        let hit = self.rob.get(idx).filter(|e| e.seq == seq);
+        debug_assert_eq!(
+            hit.map(|e| e.seq),
+            {
+                let i = self.rob.partition_point(|e| e.seq < seq);
+                self.rob.get(i).filter(|e| e.seq == seq).map(|e| e.seq)
+            },
+            "dense ROB index diverged from binary search"
+        );
+        hit
     }
 
     fn find_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
-        let idx = self.rob.partition_point(|e| e.seq < seq);
+        let front = self.rob.front()?.seq;
+        let idx = usize::try_from(seq.checked_sub(front)?).ok()?;
         self.rob.get_mut(idx).filter(|e| e.seq == seq)
     }
 
@@ -271,7 +359,8 @@ impl Core {
             self.fetch_blocked_until = now.max(self.fetch_blocked_until);
             return;
         }
-        if let Some(seq) = self.tickets.remove(&ticket) {
+        if let Some(pos) = self.tickets.iter().position(|&(t, _)| t == ticket) {
+            let (_, seq) = self.tickets.swap_remove(pos);
             if let Some(e) = self.find_mut(seq) {
                 e.done = true;
                 e.ready_at = now;
@@ -356,7 +445,7 @@ impl Core {
                     if let Some(e) = self.find_mut(w.seq) {
                         e.llc_miss = true;
                     }
-                    self.tickets.insert(ticket, w.seq);
+                    self.tickets.push((ticket, w.seq));
                     self.waiting.remove(i);
                     issued += 1;
                 }
@@ -476,12 +565,18 @@ impl Core {
                         va,
                         tag,
                         dep_seq: if dependent {
-                            self.last_load_by_chain.get(&chain).copied()
+                            self.last_load_by_chain
+                                .iter()
+                                .find(|&&(c, _)| c == chain)
+                                .map(|&(_, s)| s)
                         } else {
                             None
                         },
                     });
-                    self.last_load_by_chain.insert(chain, seq);
+                    match self.last_load_by_chain.iter_mut().find(|e| e.0 == chain) {
+                        Some(e) => e.1 = seq,
+                        None => self.last_load_by_chain.push((chain, seq)),
+                    }
                     self.pc += 4;
                 }
                 Instr::Store { va, tag } => {

@@ -149,6 +149,13 @@ struct BankState {
 struct Queued {
     req: MemRequest,
     arrival: Cycle,
+    /// Bank index, decoded once at enqueue. `decode_local` is a pure
+    /// function of the (fixed) device timing and the request offset, but
+    /// FR-FCFS re-examines every queued entry every scheduling cycle —
+    /// caching the decode removes a divide chain from the hottest loop.
+    bank: u32,
+    /// Row within the bank, decoded once at enqueue.
+    row: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -171,6 +178,10 @@ pub struct Channel {
     readq: VecDeque<Queued>,
     writeq: VecDeque<Queued>,
     inflight: Vec<InFlight>,
+    /// Cached `min(finish)` over `inflight` (`Cycle::MAX` when empty),
+    /// maintained on issue and completion so event-skipping never rescans
+    /// the in-flight set. Cross-checked against a full scan in debug builds.
+    min_inflight_finish: Cycle,
     bus_free_at: Cycle,
     next_refresh_at: Cycle,
     refresh_until: Cycle,
@@ -201,6 +212,7 @@ impl Channel {
             readq: VecDeque::new(),
             writeq: VecDeque::new(),
             inflight: Vec::new(),
+            min_inflight_finish: Cycle::MAX,
             bus_free_at: 0,
             next_refresh_at: t_refi,
             refresh_until: 0,
@@ -256,7 +268,13 @@ impl Channel {
     /// backpressure through its MSHRs.
     pub fn enqueue(&mut self, now: Cycle, req: MemRequest) {
         assert!(self.can_accept(req.kind), "channel queue overflow");
-        let q = Queued { req, arrival: now };
+        let d = decode_local(&self.cfg.timing, req.local_off);
+        let q = Queued {
+            req,
+            arrival: now,
+            bank: d.bank,
+            row: d.row,
+        };
         match req.kind {
             AccessKind::Read => self.readq.push_back(q),
             AccessKind::Write => self.writeq.push_back(q),
@@ -270,7 +288,42 @@ impl Channel {
 
     /// Earliest future cycle at which calling [`Channel::tick`] could make
     /// progress, for event-skipping. `None` when idle.
+    ///
+    /// O(1): the in-flight component comes from the incrementally maintained
+    /// `min_inflight_finish` and the queue component needs no per-entry
+    /// state. Debug builds cross-check against a full scan.
     pub fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
+        let fast = if self.is_idle() {
+            None
+        } else {
+            let mut best = Cycle::MAX;
+            if !self.inflight.is_empty() {
+                best = self.min_inflight_finish.max(now + 1);
+            }
+            if !self.readq.is_empty() || !self.writeq.is_empty() {
+                let q = if self.refresh_until > now {
+                    self.refresh_until.max(now + 1)
+                } else {
+                    // A scheduling attempt next cycle may succeed; the exact
+                    // bank ready times are folded in by attempting every
+                    // cycle after.
+                    now + 1
+                };
+                best = best.min(q);
+            }
+            Some(best)
+        };
+        debug_assert_eq!(
+            fast,
+            self.next_event_scan(now),
+            "cached channel next-event diverged from full scan"
+        );
+        fast
+    }
+
+    /// Reference full-scan implementation of [`Channel::next_event_after`],
+    /// kept as the debug-build cross-check for the cached fast path.
+    fn next_event_scan(&self, now: Cycle) -> Option<Cycle> {
         if self.is_idle() {
             return None;
         }
@@ -286,12 +339,22 @@ impl Channel {
             if self.refresh_until > now {
                 consider(self.refresh_until);
             } else {
-                // A scheduling attempt next cycle may succeed; the exact bank
-                // ready times are folded in by attempting every cycle after.
                 consider(now + 1);
             }
         }
         best
+    }
+
+    /// True when [`Channel::tick`] at `now` would not change any state: the
+    /// channel holds no work and no refresh window would start this cycle.
+    /// The refresh predicate mirrors `tick_impl` exactly, so gating ticks on
+    /// this keeps refresh slip (idle channels refresh at the first *ticked*
+    /// cycle ≥ `next_refresh_at`) bit-identical with the ungated engine.
+    pub fn tick_is_noop(&self, now: Cycle) -> bool {
+        self.is_idle()
+            && !(now >= self.next_refresh_at
+                && self.refresh_until <= now
+                && self.bus_free_at <= now)
     }
 
     /// Advance the channel to cycle `now`: start refresh if due, complete
@@ -318,24 +381,30 @@ impl Channel {
         out: &mut Vec<Completion>,
         mut tel: Option<(&mut Telemetry, u32)>,
     ) {
-        // Deliver finished reads.
-        let mut i = 0;
-        while i < self.inflight.len() {
-            if self.inflight[i].finish <= now {
-                let f = self.inflight.swap_remove(i);
-                out.push(Completion {
-                    token: f.token,
-                    core: f.core,
-                    tag: f.tag,
-                    line: f.line,
-                    finish: f.finish,
-                    queue_cycles: f.queue_cycles,
-                    service_cycles: f.service_cycles,
-                    row_hit: f.row_hit,
-                });
-            } else {
-                i += 1;
+        // Deliver finished reads. The single pass also rebuilds the cached
+        // minimum finish over the survivors.
+        if self.min_inflight_finish <= now {
+            let mut i = 0;
+            let mut min_left = Cycle::MAX;
+            while i < self.inflight.len() {
+                if self.inflight[i].finish <= now {
+                    let f = self.inflight.swap_remove(i);
+                    out.push(Completion {
+                        token: f.token,
+                        core: f.core,
+                        tag: f.tag,
+                        line: f.line,
+                        finish: f.finish,
+                        queue_cycles: f.queue_cycles,
+                        service_cycles: f.service_cycles,
+                        row_hit: f.row_hit,
+                    });
+                } else {
+                    min_left = min_left.min(self.inflight[i].finish);
+                    i += 1;
+                }
             }
+            self.min_inflight_finish = min_left;
         }
 
         // Refresh management: refresh begins once the bus is quiet.
@@ -392,12 +461,11 @@ impl Channel {
     /// oldest request whose bank can ACT now.
     fn select(&self, now: Cycle, reads: bool) -> Option<usize> {
         let queue = if reads { &self.readq } else { &self.writeq };
-        let timing = &self.cfg.timing;
+        let row_hits = self.cfg.timing.supports_row_hits();
         let mut fallback: Option<usize> = None;
         for (i, q) in queue.iter().enumerate() {
-            let d = decode_local(timing, q.req.local_off);
-            let bank = &self.banks[d.bank as usize];
-            if timing.supports_row_hits() && bank.open_row == Some(d.row) {
+            let bank = &self.banks[q.bank as usize];
+            if row_hits && bank.open_row == Some(q.row) {
                 return Some(i); // first (oldest) ready row hit wins
             }
             if fallback.is_none() && self.act_possible_at(bank) <= now {
@@ -425,32 +493,34 @@ impl Channel {
         is_read: bool,
         mut tel: Option<(&mut Telemetry, u32)>,
     ) {
-        let t = self.cfg.timing.clone();
-        let d = decode_local(&t, q.req.local_off);
-        let is_hit = t.supports_row_hits() && self.banks[d.bank as usize].open_row == Some(d.row);
+        // Disjoint-field borrow: only `banks`/`stats` are mutated below, so
+        // borrowing the timing avoids copying the whole DeviceTiming (power
+        // coefficients included) once per issued command.
+        let t = &self.cfg.timing;
+        let is_hit = t.supports_row_hits() && self.banks[q.bank as usize].open_row == Some(q.row);
 
         let (ready, row_hit) = if is_hit {
             (now + t.t_cl, true)
         } else {
-            debug_assert!(self.act_possible_at(&self.banks[d.bank as usize]) <= now);
+            debug_assert!(self.act_possible_at(&self.banks[q.bank as usize]) <= now);
             if let Some((tl, ch)) = tel.as_mut() {
-                if self.banks[d.bank as usize].open_row.is_some() {
+                if self.banks[q.bank as usize].open_row.is_some() {
                     tl.record(
                         now,
                         Event::BankConflict {
                             channel: *ch,
-                            bank: d.bank,
+                            bank: q.bank,
                         },
                     );
                 }
             }
-            let bank = &mut self.banks[d.bank as usize];
-            bank.open_row = Some(d.row);
+            let bank = &mut self.banks[q.bank as usize];
+            bank.open_row = Some(q.row);
             bank.rc_ready = now + t.t_rc;
             bank.ras_ready = now + t.t_ras;
             self.stats.activates += t.subaccesses_per_line() as u64;
             // moca-lint: allow(narrowing-cast): bank index is u32; u32 -> usize never truncates
-            self.bank_activates[d.bank as usize] += t.subaccesses_per_line() as u64;
+            self.bank_activates[q.bank as usize] += t.subaccesses_per_line() as u64;
             (now + t.t_rcd + t.t_cl, false)
         };
 
@@ -478,6 +548,7 @@ impl Channel {
                 service_cycles,
                 row_hit,
             });
+            self.min_inflight_finish = self.min_inflight_finish.min(data_end);
         } else {
             self.stats.writes += 1;
         }
@@ -770,6 +841,34 @@ mod tests {
         let mut ch = ddr3_channel();
         ch.enqueue(0, read_req(1, 0));
         assert!(ch.next_event_after(0).is_some());
+    }
+
+    #[test]
+    fn noop_gate_matches_ungated_ticking() {
+        // Ticking only when `tick_is_noop` is false must produce the same
+        // refresh schedule and stats as ticking every cycle, including a
+        // request arriving mid-run and a long idle tail.
+        let mut gated = ddr3_channel();
+        let mut plain = ddr3_channel();
+        let mut out_g = Vec::new();
+        let mut out_p = Vec::new();
+        for now in 1..=20_000u64 {
+            if now == 9000 {
+                gated.enqueue(now - 1, read_req(1, 0));
+                plain.enqueue(now - 1, read_req(1, 0));
+            }
+            if !gated.tick_is_noop(now) {
+                gated.tick(now, &mut out_g);
+            }
+            plain.tick(now, &mut out_p);
+        }
+        assert_eq!(out_g.len(), out_p.len());
+        assert_eq!(gated.stats().refreshes, plain.stats().refreshes);
+        assert_eq!(gated.stats().reads, plain.stats().reads);
+        assert!(gated.stats().refreshes >= 2);
+        let g = out_g[0];
+        let p = out_p[0];
+        assert_eq!((g.finish, g.queue_cycles), (p.finish, p.queue_cycles));
     }
 
     #[test]

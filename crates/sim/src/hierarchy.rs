@@ -11,7 +11,6 @@
 
 use moca_cache::mshr::MshrOutcome;
 use moca_cache::{CacheConfig, MshrFile, SetAssocCache, Victim};
-use moca_common::det::{DetMap, DetSet};
 use moca_common::ids::MemTag;
 use moca_common::{AccessKind, CoreId, Cycle, LineAddr, PhysAddr, Segment};
 use moca_cpu::{MemReply, StoreReply};
@@ -43,10 +42,14 @@ pub struct CoreHierarchy {
     l1d: SetAssocCache,
     l2: SetAssocCache,
     l2_mshr: MshrFile<u64>,
-    outstanding: DetMap<u64, FillKind>,
+    /// Outstanding DRAM read tokens → what their fill is for. Flat pairs
+    /// rather than an ordered map: tokens are unique and looked up by exact
+    /// value only, the population is bounded by the L2 MSHR count, and no
+    /// iteration order is observable.
+    outstanding: Vec<(u64, FillKind)>,
     /// Lines with a pending store merged into an in-flight demand miss: the
-    /// eventual fill must install dirty.
-    pending_store_dirty: DetSet<LineAddr>,
+    /// eventual fill must install dirty. Flat, exact-membership-only set.
+    pending_store_dirty: Vec<LineAddr>,
     deferred: VecDeque<Deferred>,
     l1_hit_latency: Cycle,
     l2_hit_latency: Cycle,
@@ -72,8 +75,8 @@ impl CoreHierarchy {
             l1d: SetAssocCache::new(l1d),
             l2: SetAssocCache::new(l2),
             l2_mshr: MshrFile::new(mshrs),
-            outstanding: DetMap::new(),
-            pending_store_dirty: DetSet::new(),
+            outstanding: Vec::new(),
+            pending_store_dirty: Vec::new(),
             deferred: VecDeque::new(),
             l1_hit_latency,
             l2_hit_latency,
@@ -110,6 +113,12 @@ impl CoreHierarchy {
     /// Whether all queues and outstanding state are drained.
     pub fn is_idle(&self) -> bool {
         self.outstanding.is_empty() && self.deferred.is_empty()
+    }
+
+    /// Whether any deferred writeback/store-fill is queued (lets the system
+    /// loop skip the per-cycle flush for quiescent hierarchies).
+    pub fn has_deferred(&self) -> bool {
+        !self.deferred.is_empty()
     }
 
     /// Enqueue a DRAM request, deferring on backpressure. `token` must be
@@ -226,7 +235,7 @@ impl CoreHierarchy {
         let token = bump(tickets);
         let outcome = self.l2_mshr.on_miss(line, ticket);
         debug_assert_eq!(outcome, MshrOutcome::AllocatedPrimary);
-        self.outstanding.insert(token, FillKind::Demand(line));
+        self.outstanding.push((token, FillKind::Demand(line)));
         self.send(
             now,
             channels,
@@ -337,7 +346,9 @@ impl CoreHierarchy {
         }
         // L2 miss. If the line is already inbound, just mark it dirty-on-fill.
         if self.l2_mshr.pending(line) {
-            self.pending_store_dirty.insert(line);
+            if !self.pending_store_dirty.contains(&line) {
+                self.pending_store_dirty.push(line);
+            }
             return StoreReply {
                 primary_miss: false,
             };
@@ -350,7 +361,7 @@ impl CoreHierarchy {
             self.retire_l1_victim(now, channels, mapper, core, v);
         }
         let token = bump(tickets);
-        self.outstanding.insert(token, FillKind::StoreFill);
+        self.outstanding.push((token, FillKind::StoreFill));
         self.send(
             now,
             channels,
@@ -388,7 +399,8 @@ impl CoreHierarchy {
     }
 
     /// Deliver a DRAM read completion: fill caches and return the core
-    /// tickets to wake.
+    /// tickets to wake. Convenience wrapper over
+    /// [`CoreHierarchy::on_completion_into`] for tests and external callers.
     pub fn on_completion(
         &mut self,
         now: Cycle,
@@ -396,11 +408,38 @@ impl CoreHierarchy {
         channels: &mut [Channel],
         mapper: &AddressMapper,
     ) -> Vec<u64> {
-        match self.outstanding.remove(&comp.token) {
-            None => Vec::new(), // stale/unknown (should not happen)
-            Some(FillKind::StoreFill) => Vec::new(),
-            Some(FillKind::Demand(line)) => {
-                let dirty = self.pending_store_dirty.remove(&line);
+        // moca-lint: allow(hot-alloc): test/convenience wrapper; the system loop uses on_completion_into with a reusable buffer
+        let mut woken = Vec::new();
+        self.on_completion_into(now, comp, channels, mapper, &mut woken);
+        woken
+    }
+
+    /// Allocation-free completion delivery: appends the core tickets to
+    /// wake onto `woken` (in MSHR waiter order). The system loop passes a
+    /// reusable buffer here, so the per-completion hot path performs no
+    /// heap allocation.
+    pub fn on_completion_into(
+        &mut self,
+        now: Cycle,
+        comp: &Completion,
+        channels: &mut [Channel],
+        mapper: &AddressMapper,
+        woken: &mut Vec<u64>,
+    ) {
+        let kind = match self.outstanding.iter().position(|&(t, _)| t == comp.token) {
+            None => return, // stale/unknown (should not happen)
+            Some(pos) => self.outstanding.swap_remove(pos).1,
+        };
+        match kind {
+            FillKind::StoreFill => {}
+            FillKind::Demand(line) => {
+                let dirty = match self.pending_store_dirty.iter().position(|&l| l == line) {
+                    Some(pos) => {
+                        self.pending_store_dirty.swap_remove(pos);
+                        true
+                    }
+                    None => false,
+                };
                 if let Some(v) = self.l2.fill(line, dirty) {
                     self.retire_l2_victim(now, channels, mapper, comp.core, v);
                 }
@@ -418,7 +457,7 @@ impl CoreHierarchy {
                         self.retire_l1_victim(now, channels, mapper, comp.core, v);
                     }
                 }
-                self.l2_mshr.complete(line)
+                self.l2_mshr.complete_into(line, woken);
             }
         }
     }

@@ -56,6 +56,14 @@ pub struct System {
     /// the instruction target keep running (to preserve contention) but
     /// their memory latencies stop counting toward the metrics.
     measuring: Vec<bool>,
+    /// Per-core flag: statistics snapshot already frozen (the core passed
+    /// its instruction target). Frozen cores keep executing for contention
+    /// but are skipped by per-core window sampling.
+    frozen: Vec<bool>,
+    /// Reusable buffer for the tickets woken by one DRAM completion (the
+    /// completion path runs once per off-chip read; keeping the buffer on
+    /// the system makes the step loop allocation-free).
+    woken_buf: Vec<u64>,
     /// Optional dynamic page-migration engine (the runtime-monitoring
     /// baseline of §IV-E / related work).
     migrator: Option<Migrator>,
@@ -282,6 +290,8 @@ impl System {
             tickets: 0,
             now: 0,
             measuring: vec![true; n],
+            frozen: vec![false; n],
+            woken_buf: Vec::new(),
             migrator: None,
             tel,
             win_next: 0,
@@ -325,6 +335,12 @@ impl System {
         let dt = (end - start) as f64;
         let mut samples = Vec::new();
         for (i, core) in self.cores.iter().enumerate() {
+            // A frozen core's statistics are already snapshotted; it only
+            // runs on for contention. Skip its per-core tracks (channel and
+            // frame-pool tracks below still cover the whole machine).
+            if self.frozen[i] {
+                continue;
+            }
             let committed = core.committed();
             let dc = committed.saturating_sub(self.win_committed[i]);
             self.win_committed[i] = committed;
@@ -417,6 +433,11 @@ impl System {
         // moca-lint: allow(wall-clock): host self-profiling span, never read by the simulation
         let t0 = profile.then(std::time::Instant::now);
         for (ci, ch) in self.channels.iter_mut().enumerate() {
+            // Idle gating: a channel with no queued or in-flight work only
+            // needs a tick on the cycle its refresh window opens.
+            if ch.tick_is_noop(now) {
+                continue;
+            }
             ch.tick_tel(now, comps, &mut self.tel, ci as u32);
         }
         for comp in comps.iter() {
@@ -429,8 +450,15 @@ impl System {
             }
             self.tel
                 .observe_read_latency(comp.queue_cycles, comp.queue_cycles + comp.service_cycles);
-            let woken = self.hiers[ci].on_completion(now, comp, &mut self.channels, &self.mapper);
-            for t in woken {
+            self.woken_buf.clear();
+            self.hiers[ci].on_completion_into(
+                now,
+                comp,
+                &mut self.channels,
+                &self.mapper,
+                &mut self.woken_buf,
+            );
+            for &t in &self.woken_buf {
                 self.cores[ci].complete(t, now);
             }
             if let Some(m) = &mut self.migrator {
@@ -472,7 +500,9 @@ impl System {
         // moca-lint: allow(wall-clock): host self-profiling span, never read by the simulation
         let t0 = profile.then(std::time::Instant::now);
         for h in &mut self.hiers {
-            h.flush_deferred(now, &mut self.channels, &self.mapper);
+            if h.has_deferred() {
+                h.flush_deferred(now, &mut self.channels, &self.mapper);
+            }
         }
         if let Some(t) = t0 {
             self.tel.components.cache += t.elapsed();
@@ -482,6 +512,12 @@ impl System {
         // moca-lint: allow(wall-clock): host self-profiling span, never read by the simulation
         let t0 = profile.then(std::time::Instant::now);
         for i in 0..n {
+            // A fully drained core (stream exhausted, ROB empty) has nothing
+            // left to commit, issue, or dispatch: its tick would only bump
+            // dead cycle counters, so skip it.
+            if self.cores[i].finished() {
+                continue;
+            }
             let mut port = Port {
                 hier: &mut self.hiers[i],
                 channels: &mut self.channels,
@@ -503,26 +539,39 @@ impl System {
         }
 
         // 4. Event skip: if every core is stalled on memory, jump to the
-        // next completion/command boundary.
-        if self.cores.iter().all(|c| c.blocked_on_memory(now)) {
-            let mut next: Option<Cycle> = None;
-            let mut consider = |c: Cycle| {
-                next = Some(next.map_or(c, |b: Cycle| b.min(c)));
-            };
+        // next completion/command boundary. One combined blocked+next-event
+        // pass per core (short-circuiting on the first awake core) and an
+        // O(1) cached next-event query per channel — no bank or in-flight
+        // scans on this path.
+        let mut all_blocked = true;
+        let mut next = Cycle::MAX;
+        for c in &self.cores {
+            match c.sleep_state(now) {
+                None => {
+                    all_blocked = false;
+                    break;
+                }
+                Some(e) => next = next.min(e),
+            }
+        }
+        if all_blocked {
             for ch in &self.channels {
                 if let Some(c) = ch.next_event_after(now) {
-                    consider(c);
+                    next = next.min(c);
                 }
             }
-            for c in &self.cores {
-                if let Some(e) = c.next_local_event(now) {
-                    consider(e);
-                }
-            }
-            match next {
-                Some(nx) if nx > now + 1 => self.now = nx - 1,
-                Some(_) => {}
-                None => unreachable!("all cores blocked with no pending events"),
+            // The drain phase terminates through these events: every blocked
+            // core waits on a channel completion (tracked by the channel
+            // next-events) or a core-local timer. Neither pending means the
+            // machine can never advance — fail loudly rather than spinning
+            // into the generic run watchdog.
+            assert!(
+                next != Cycle::MAX,
+                "event-skip deadlock at cycle {now}: every core is blocked on memory \
+                 but no channel completion or core-local event is pending"
+            );
+            if next > now + 1 {
+                self.now = next - 1;
             }
         }
     }
@@ -583,6 +632,7 @@ impl System {
                 if slot.is_none() && self.cores[i].committed() >= instr_target {
                     *slot = Some((self.cores[i].stats().clone(), self.now - measure_start));
                     self.measuring[i] = false;
+                    self.frozen[i] = true;
                     let committed = self.cores[i].committed();
                     self.tel.record(
                         self.now,

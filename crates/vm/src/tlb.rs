@@ -33,6 +33,13 @@ pub struct Tlb {
     entries: Vec<Entry>,
     capacity: usize,
     clock: u64,
+    /// Index of the most recently hit/inserted entry, checked before the
+    /// scan. Every translation (load, store, ifetch) goes through `lookup`,
+    /// and consecutive accesses overwhelmingly touch the same page, so this
+    /// collapses the common case to one comparison. Purely an access-order
+    /// shortcut: hits, misses, and evictions are identical to the plain scan
+    /// (vpns in the table are unique).
+    mru: usize,
     stats: TlbStats,
 }
 
@@ -44,6 +51,7 @@ impl Tlb {
             entries: Vec::with_capacity(capacity),
             capacity,
             clock: 0,
+            mru: 0,
             stats: TlbStats::default(),
         }
     }
@@ -51,9 +59,17 @@ impl Tlb {
     /// Look up a virtual page number, updating LRU and statistics.
     pub fn lookup(&mut self, vpn: u64) -> Option<u64> {
         self.clock += 1;
-        for e in &mut self.entries {
+        if let Some(e) = self.entries.get_mut(self.mru) {
             if e.vpn == vpn {
                 e.used = self.clock;
+                self.stats.hits += 1;
+                return Some(e.pfn);
+            }
+        }
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if e.vpn == vpn {
+                e.used = self.clock;
+                self.mru = i;
                 self.stats.hits += 1;
                 return Some(e.pfn);
             }
@@ -66,9 +82,15 @@ impl Tlb {
     /// full. Replaces any stale entry for the same vpn.
     pub fn insert(&mut self, vpn: u64, pfn: u64) {
         self.clock += 1;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.vpn == vpn) {
+        if let Some((i, e)) = self
+            .entries
+            .iter_mut()
+            .enumerate()
+            .find(|(_, e)| e.vpn == vpn)
+        {
             e.pfn = pfn;
             e.used = self.clock;
+            self.mru = i;
             return;
         }
         let entry = Entry {
@@ -78,19 +100,23 @@ impl Tlb {
         };
         if self.entries.len() < self.capacity {
             self.entries.push(entry);
+            self.mru = self.entries.len() - 1;
         } else {
-            let lru = self
+            let (i, lru) = self
                 .entries
                 .iter_mut()
-                .min_by_key(|e| e.used)
+                .enumerate()
+                .min_by_key(|(_, e)| e.used)
                 .expect("non-empty");
             *lru = entry;
+            self.mru = i;
         }
     }
 
     /// Drop all entries (context switch).
     pub fn flush(&mut self) {
         self.entries.clear();
+        self.mru = 0;
     }
 
     /// Statistics.
