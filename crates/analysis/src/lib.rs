@@ -20,6 +20,7 @@
 //! | `unseeded-rng`   | everywhere                     | ambient randomness (`thread_rng`, `from_entropy`, …) |
 //! | `narrowing-cast` | simulated-path crates          | bare `as u32`/`as usize`/… on cycle/address-flavored expressions (use [`moca_common::units::narrow_u32`]) |
 //! | `hot-alloc`      | simulated-path crates          | heap allocation (`Vec::new()`, `vec![…]`, `format!`, `.to_string()`, `.collect::<Vec<…>>`) inside per-cycle hot functions (`fn tick*` / `fn step` / `fn on_completion*`) |
+//! | `attr-exclusive` | simulated-path crates          | two distinct CPI-stack bucket fields (`.committing += …`, `.load_miss += …`, …) incremented in the same immediate brace scope — buckets are exclusive per cycle, so charges must live in disjoint arms |
 //!
 //! A finding is suppressed by an inline pragma on the same line or the line
 //! above — `// moca-lint: allow(<rule>): <justification>` (the justification
@@ -60,6 +61,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "hot-alloc",
         "heap allocation inside per-cycle hot functions; hoist a reusable buffer to the owning struct",
+    ),
+    (
+        "attr-exclusive",
+        "two CPI-stack bucket increments in one brace scope; every cycle belongs to exactly one bucket",
     ),
 ];
 
@@ -357,6 +362,44 @@ fn hot_spans<'a>(code: &'a [String]) -> Vec<Option<&'a str>> {
     out
 }
 
+/// CPI-stack bucket fields of `moca_telemetry::attribution::CycleBuckets`.
+/// The `attr-exclusive` rule watches `.{field} +=` increments: the buckets
+/// partition core cycles, so two different fields charged in the same
+/// immediate brace scope would double-count a cycle.
+const BUCKET_FIELDS: &[&str] = &[
+    "committing",
+    "load_miss",
+    "mshr_full",
+    "rob_full",
+    "frontend_empty",
+    "other",
+];
+
+/// Byte offsets and field names of CPI-stack bucket increments on a
+/// stripped line: `.{field}` at an identifier boundary (so
+/// `.mshr_full_cycles` does not match `mshr_full`) followed by `+=`.
+fn bucket_increments(line: &str) -> Vec<(usize, &'static str)> {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut out = Vec::new();
+    for &field in BUCKET_FIELDS {
+        let pat = format!(".{field}");
+        let mut start = 0;
+        while let Some(pos) = line[start..].find(&pat) {
+            let at = start + pos;
+            start = at + 1;
+            let after = at + pat.len();
+            if line[after..].chars().next().is_some_and(is_ident) {
+                continue; // longer identifier, e.g. `.other_field`
+            }
+            if line[after..].trim_start().starts_with("+=") {
+                out.push((at, field));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
 /// Wall-clock / threading tokens.
 const WALL_CLOCK_TOKENS: &[&str] = &["Instant", "SystemTime"];
 const THREAD_TOKENS: &[&str] = &["thread::spawn", "thread::scope", "thread::sleep"];
@@ -402,7 +445,44 @@ pub fn scan_file(crate_name: &str, rel: &Path, raw: &str) -> Vec<Finding> {
         }
     };
 
+    // attr-exclusive state: distinct bucket fields incremented *directly* in
+    // each open brace scope (index 0 = file top level); nested scopes are
+    // separate arms and do not conflict with their parents.
+    let mut attr_scopes: Vec<Vec<&'static str>> = vec![Vec::new()];
+
     for (ln, line) in code.iter().enumerate() {
+        if sim_path {
+            let incs = bucket_increments(line);
+            let mut k = 0;
+            for (i, c) in line.char_indices() {
+                while k < incs.len() && incs[k].0 <= i {
+                    let field = incs[k].1;
+                    k += 1;
+                    let top = attr_scopes.last_mut().expect("scope stack non-empty");
+                    if !top.contains(&field) {
+                        if let Some(&prev) = top.first() {
+                            push(
+                                "attr-exclusive",
+                                ln,
+                                format!(
+                                    "`.{field} +=` in the same brace scope as `.{prev} +=`; \
+                                     CPI-stack buckets are exclusive — every cycle belongs to \
+                                     exactly one bucket, so charges must live in disjoint arms"
+                                ),
+                            );
+                        }
+                        top.push(field);
+                    }
+                }
+                match c {
+                    '{' => attr_scopes.push(Vec::new()),
+                    '}' if attr_scopes.len() > 1 => {
+                        attr_scopes.pop();
+                    }
+                    _ => {}
+                }
+            }
+        }
         if sim_path {
             for tok in ["HashMap", "HashSet"] {
                 if has_token(line, tok) {

@@ -1,0 +1,20 @@
+// Fixture: attr-exclusive — CPI-stack bucket increments per brace scope.
+fn tick(buckets: &mut CycleBuckets) {
+    buckets.committing += 1;
+    buckets.load_miss += 1; // second distinct bucket in the fn scope: flagged
+    buckets.committing += 1; // same field again: not flagged
+    if miss {
+        buckets.rob_full += 1; // nested arm: its own scope, clean
+    } else {
+        buckets.frontend_empty += 1; // sibling arm: clean
+    }
+    // moca-lint: allow(attr-exclusive): exclusivity audited by the invariant test
+    buckets.mshr_full += 1;
+    buckets.mshr_full_cycles += 2; // longer identifier: not a bucket field
+    ledger.other_kind += 1; // `.other_kind` is not `.other`
+}
+
+fn merge(a: &mut CycleBuckets, b: &CycleBuckets) {
+    a.committing += b.committing;
+    a.other += b.other; // second distinct bucket in the merge scope: flagged
+}

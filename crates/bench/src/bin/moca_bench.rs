@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! moca-bench perf [--quick] [--out FILE] [--compare FILE]
+//! moca-bench diff BASELINE FRESH [--tolerance PCT]
 //! ```
 //!
 //! `perf` runs the fixed cycle-engine basket (see `moca_bench::perf`) and
@@ -9,19 +10,76 @@
 //! against a committed baseline, prints the per-component delta table, and
 //! warns — without failing — when a memory-bound entry's cycles/host-second
 //! regressed by more than 20%.
+//!
+//! `diff` compares two committed reports (perf or `repro explain` JSON) and
+//! *does* gate: exit 0 when clean, 1 on a regression beyond the tolerance
+//! (default 10%), 2 on unusable inputs — including empty baskets, which are
+//! an error rather than a silent pass.
 
-use moca_bench::perf;
+use moca_bench::{diff, perf};
 use std::path::PathBuf;
 
 fn usage() -> ! {
-    eprintln!("usage: moca-bench perf [--quick] [--out FILE] [--compare FILE]");
+    eprintln!(
+        "usage: moca-bench perf [--quick] [--out FILE] [--compare FILE]\n\
+         \x20      moca-bench diff BASELINE FRESH [--tolerance PCT]"
+    );
     std::process::exit(2);
+}
+
+fn diff_main(mut args: impl Iterator<Item = String>) -> ! {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut tolerance = 0.10;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                match v.parse::<f64>() {
+                    Ok(pct) if pct > 0.0 && pct < 100.0 => tolerance = pct / 100.0,
+                    _ => {
+                        eprintln!("moca-bench diff: --tolerance wants a percentage in (0, 100), got {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+    let [base, fresh] = files.as_slice() else {
+        usage();
+    };
+    match diff::diff_files(base, fresh, tolerance) {
+        Ok(d) => {
+            println!(
+                "moca-bench diff: {} vs {} (tolerance {:.0}%)",
+                base.display(),
+                fresh.display(),
+                tolerance * 100.0
+            );
+            for line in &d.lines {
+                println!("  {line}");
+            }
+            if d.regressions.is_empty() {
+                println!("diff: clean");
+                std::process::exit(0);
+            }
+            for r in &d.regressions {
+                println!("diff: REGRESSION: {r}");
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("moca-bench diff: error: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("perf") => {}
+        Some("diff") => diff_main(args),
         _ => usage(),
     }
     let mut quick = false;

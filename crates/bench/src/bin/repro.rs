@@ -1,11 +1,23 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--jobs N] [--out DIR] [--trace FILE] [--metrics-window N] <target>...
+//! repro [--quick] [--quiet] [--jobs N] [--out DIR] [--trace FILE] [--metrics-window N] <target>...
+//! repro explain [APP] [MEM] [--quick] [--quiet] [--jobs N] [--out DIR] [--top N]
 //!
 //! targets: table1 table2 table3 fig1 fig2 fig5 fig8 fig9 fig10 fig11
 //!          fig12 fig13 fig14 fig15 fig16 thresholds migration ablations all
 //! ```
+//!
+//! `repro explain` runs one attribution-instrumented evaluation (default
+//! `mcf` on `ddr3`; MEM is one of `ddr3 lp rl hbm heter1 heter2 heter3`),
+//! prints the cycle-attribution report — per-core CPI stacks, per-tier
+//! stall mechanisms, the top objects by attributed stall with placement
+//! verdicts, and the occupancy timeline — and writes the stable JSON twin
+//! to `<out>/explain_<APP>-<MEM>.json`. Output is byte-identical across
+//! repeated runs and `--jobs` counts.
+//!
+//! `--quiet` silences progress lines on stderr; `<out>/repro_progress.log`
+//! is still written.
 //!
 //! `--jobs N` caps the host worker threads used to fan simulations out
 //! (also settable via the `MOCA_JOBS` environment variable; the flag wins).
@@ -31,35 +43,112 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--jobs N] [--out DIR] [--trace FILE] [--metrics-window N] <target>...\n\
+        "usage: repro [--quick] [--quiet] [--jobs N] [--out DIR] [--trace FILE] [--metrics-window N] <target>...\n\
+         \x20      repro explain [APP] [MEM] [--quick] [--quiet] [--jobs N] [--out DIR] [--top N]\n\
          targets: table1 table2 table3 fig1 fig2 fig5 fig8 fig9 fig10 fig11 \
-         fig12 fig13 fig14 fig15 fig16 thresholds migration ablations all"
+         fig12 fig13 fig14 fig15 fig16 thresholds migration ablations all\n\
+         mems:    ddr3 lp rl hbm heter1 heter2 heter3"
     );
     std::process::exit(2);
 }
 
-fn main() {
-    let mut scale = Scale::Full;
+fn set_jobs(n: &str) {
+    match n.parse::<usize>() {
+        // The fan-out helpers read MOCA_JOBS at each call site; exporting
+        // it here makes the flag reach all of them.
+        Ok(v) if v > 0 => std::env::set_var("MOCA_JOBS", v.to_string()),
+        _ => {
+            eprintln!("repro: --jobs wants a positive thread count, got {n:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `repro explain`: one attribution-instrumented run, rendered + JSON.
+fn explain_main(args: &[String]) -> ! {
+    let mut spec = moca_bench::explain::ExplainSpec::default();
     let mut out_dir = PathBuf::from("results");
-    let mut trace: Option<PathBuf> = None;
-    let mut metrics_window: Option<u64> = None;
-    let mut targets: BTreeSet<String> = BTreeSet::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    let mut quiet = false;
+    let mut positionals: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
-            "--quick" => scale = Scale::Quick,
-            "--jobs" => {
-                let n = args.next().unwrap_or_else(|| usage());
+            "--quick" => spec.quick = true,
+            "--quiet" => quiet = true,
+            "--jobs" => set_jobs(&it.next().cloned().unwrap_or_else(|| usage())),
+            "--out" => out_dir = PathBuf::from(it.next().cloned().unwrap_or_else(|| usage())),
+            "--top" => {
+                let n = it.next().cloned().unwrap_or_else(|| usage());
                 match n.parse::<usize>() {
-                    // The fan-out helpers read MOCA_JOBS at each call site;
-                    // exporting it here makes the flag reach all of them.
-                    Ok(v) if v > 0 => std::env::set_var("MOCA_JOBS", v.to_string()),
+                    Ok(v) if v > 0 => spec.top = v,
                     _ => {
-                        eprintln!("repro: --jobs wants a positive thread count, got {n:?}");
+                        eprintln!("repro explain: --top wants a positive count, got {n:?}");
                         std::process::exit(2);
                     }
                 }
             }
+            "-h" | "--help" => usage(),
+            p => positionals.push(p),
+        }
+    }
+    match positionals.as_slice() {
+        [] => {}
+        [app] => spec.app = app.to_string(),
+        [app, mem] => {
+            spec.app = app.to_string();
+            spec.mem = mem.to_string();
+        }
+        _ => usage(),
+    }
+
+    if !quiet {
+        eprintln!(
+            "repro explain: {} on {} ({}) ...",
+            spec.app,
+            spec.mem,
+            if spec.quick { "quick" } else { "full" }
+        );
+    }
+    let report = match moca_bench::explain::run_explain(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro explain: error: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", moca_bench::explain::render(&report));
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("warning: could not create {}: {e}", out_dir.display());
+    }
+    let json_path = out_dir.join(format!("explain_{}-{}.json", spec.app, spec.mem));
+    match std::fs::write(&json_path, moca_bench::explain::to_json(&report)) {
+        Ok(()) => {
+            if !quiet {
+                eprintln!("repro explain: JSON written to {}", json_path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not save {}: {e}", json_path.display()),
+    }
+    std::process::exit(0);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("explain") {
+        explain_main(&argv[1..]);
+    }
+    let mut scale = Scale::Full;
+    let mut out_dir = PathBuf::from("results");
+    let mut trace: Option<PathBuf> = None;
+    let mut metrics_window: Option<u64> = None;
+    let mut quiet = false;
+    let mut targets: BTreeSet<String> = BTreeSet::new();
+    let mut args = argv.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--quiet" => quiet = true,
+            "--jobs" => set_jobs(&args.next().unwrap_or_else(|| usage())),
             "--out" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--metrics-window" => {
@@ -109,6 +198,7 @@ fn main() {
     }
 
     let mut progress = ProgressReporter::new(Some(&out_dir.join("repro_progress.log")));
+    progress.set_quiet(quiet);
     let mut profiler = HostProfiler::new();
     let mut traced_cycles: Option<u64> = None;
 

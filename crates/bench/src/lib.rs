@@ -5,7 +5,9 @@
 //! (`cargo run --release -p moca-bench --bin repro -- all`) and writes both
 //! aligned-text tables and JSON records (under `results/`).
 
+pub mod diff;
 pub mod experiments;
+pub mod explain;
 pub mod harness;
 pub mod microbench;
 pub mod perf;

@@ -261,8 +261,17 @@ pub fn render(report: &PerfReport) -> String {
     out
 }
 
-/// Save the report as pretty-printed JSON.
+/// Save the report as pretty-printed JSON. Refuses to write a report with
+/// an empty basket: a truncated `BENCH_*.json` would make every later
+/// `compare`/`diff` vacuously green, which is exactly the failure mode the
+/// trajectory gate exists to catch.
 pub fn save(report: &PerfReport, path: &Path) -> std::io::Result<()> {
+    if report.entries.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "refusing to save a perf report with an empty basket",
+        ));
+    }
     let json = serde_json::to_string_pretty(report).expect("perf report serializes");
     let mut f = std::fs::File::create(path)?;
     f.write_all(json.as_bytes())?;
@@ -358,6 +367,19 @@ mod tests {
         let back: PerfReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.entries[0].name, "mcf-ddr3");
         assert_eq!(back.entries[0].sim_cycles, 123456);
+    }
+
+    #[test]
+    fn save_refuses_empty_basket() {
+        let r = PerfReport {
+            schema: PERF_SCHEMA.into(),
+            scale: "quick".into(),
+            entries: vec![],
+        };
+        let path = std::env::temp_dir().join("moca_perf_empty_refused.json");
+        let err = save(&r, &path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(!path.exists(), "empty report must not be written");
     }
 
     #[test]

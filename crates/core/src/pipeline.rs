@@ -141,6 +141,22 @@ impl Pipeline {
         policy: PolicyKind,
         tel: Telemetry,
     ) -> (RunResult, Telemetry) {
+        self.evaluate_attributed(apps, mem, policy, tel, false)
+    }
+
+    /// [`Pipeline::evaluate_with_telemetry`] with per-core cycle attribution
+    /// switched on: the returned `RunResult` carries CPI stacks, per-object
+    /// stall ledgers, and the occupancy timeline (`repro explain` consumes
+    /// this). Attribution is observational, so every simulated metric is
+    /// bit-identical to the unattributed run.
+    pub fn evaluate_attributed(
+        &mut self,
+        apps: &[&str],
+        mem: MemSystemConfig,
+        policy: PolicyKind,
+        tel: Telemetry,
+        attribution: bool,
+    ) -> (RunResult, Telemetry) {
         let sys_cfg = SystemConfig {
             cores: apps.len(),
             capacity_scale: self.profile_cfg.capacity_scale,
@@ -174,6 +190,9 @@ impl Pipeline {
         let mut sys = System::new_with_telemetry(sys_cfg, launches, policy_box, tel);
         if policy == PolicyKind::Migration {
             sys.attach_migration(moca_sim::migration::MigrationConfig::default());
+        }
+        if attribution {
+            sys.enable_attribution();
         }
         let result = sys.run_warmed(self.eval_warmup, self.eval_instrs);
         (result, sys.take_telemetry())

@@ -4,6 +4,7 @@ use crate::instr::{Instr, InstrStream};
 use crate::stats::CoreStats;
 use moca_common::ids::MemTag;
 use moca_common::{CoreId, Cycle, Segment, VirtAddr};
+use moca_telemetry::attribution::{AttrSnapshot, CoreAttr, Mechanism};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -54,7 +55,11 @@ pub enum MemReply {
         primary: bool,
     },
     /// Structural hazard (MSHR or queue full): retry next cycle.
-    Retry,
+    Retry {
+        /// True when the hazard was a full L2 MSHR file (as opposed to a
+        /// full DRAM channel queue) — feeds the MSHR-full CPI bucket.
+        mshr_full: bool,
+    },
 }
 
 /// Reply to a store (fire-and-forget through the store buffer).
@@ -121,6 +126,9 @@ pub struct Core {
     /// Cycle of the previous `tick` call, for event-skip-aware accounting.
     last_tick: Cycle,
     stats: CoreStats,
+    /// CPI-stack attribution state; `None` (the default) costs one branch
+    /// per tick and changes nothing else — runs are bit-identical.
+    attr: Option<Box<CoreAttr>>,
 }
 
 impl Core {
@@ -145,12 +153,41 @@ impl Core {
             stream_done: false,
             last_tick: 0,
             stats: CoreStats::default(),
+            attr: None,
         }
     }
 
     /// Run statistics.
     pub fn stats(&self) -> &CoreStats {
         &self.stats
+    }
+
+    /// Turn on CPI-stack attribution. Purely observational: the attributed
+    /// buckets are computed from state the tick already inspects, so the
+    /// simulated cycles are identical with or without it.
+    pub fn enable_attribution(&mut self) {
+        if self.attr.is_none() {
+            self.attr = Some(Box::new(CoreAttr::new()));
+        }
+    }
+
+    /// Current attribution state, if enabled.
+    pub fn attr(&self) -> Option<&CoreAttr> {
+        self.attr.as_deref()
+    }
+
+    /// Frozen attribution snapshot (pending stalls folded into the
+    /// `unresolved` tier), if attribution is enabled.
+    pub fn attr_snapshot(&self) -> Option<AttrSnapshot> {
+        self.attr.as_deref().map(CoreAttr::snapshot)
+    }
+
+    /// Resolve the tier/mechanism of a completed load `ticket` (called by
+    /// the system once the DRAM completion's serving channel is known).
+    pub fn attr_resolve(&mut self, ticket: u64, tier: usize, mech: Mechanism) {
+        if let Some(a) = self.attr.as_deref_mut() {
+            a.resolve(ticket, tier, mech);
+        }
     }
 
     /// Consume the statistics at end of run.
@@ -163,6 +200,9 @@ impl Core {
     /// only the counters restart.
     pub fn reset_stats(&mut self) {
         self.stats = CoreStats::default();
+        if let Some(a) = self.attr.as_deref_mut() {
+            a.reset();
+        }
     }
 
     /// Whether the program has fully drained.
@@ -361,11 +401,30 @@ impl Core {
         }
         if let Some(pos) = self.tickets.iter().position(|&(t, _)| t == ticket) {
             let (_, seq) = self.tickets.swap_remove(pos);
+            if let Some(a) = self.attr.as_deref_mut() {
+                // The skipped-window accounting in the next tick may still
+                // need this ticket (the head load completed *at* `now`).
+                a.note_completion(ticket, seq);
+            }
             if let Some(e) = self.find_mut(seq) {
                 e.done = true;
                 e.ready_at = now;
             }
         }
+    }
+
+    /// Ticket of the outstanding (or just-completed) load at ROB sequence
+    /// `seq`, for attribution accrual.
+    fn ticket_of_seq(&self, seq: u64) -> Option<u64> {
+        self.tickets
+            .iter()
+            .find(|&&(_, s)| s == seq)
+            .map(|&(t, _)| t)
+            .or_else(|| {
+                self.attr
+                    .as_deref()
+                    .and_then(|a| a.completed_ticket_of(seq))
+            })
     }
 
     /// Advance to cycle `now`: commit, account head stalls, issue waiting
@@ -380,13 +439,36 @@ impl Core {
         // head was an incomplete LLC-missing load over that window (the only
         // state that triggers a skip), attribute the skipped stall cycles.
         if elapsed > 1 {
-            if let Some(h) = self.rob.front() {
-                if h.is_load && h.llc_miss {
-                    let stalled = elapsed - 1;
-                    self.stats.head_stall_cycles += stalled;
-                    if let Some(tag) = h.tag {
-                        self.stats.tags.get_mut(tag).rob_head_stall_cycles += stalled;
+            let stalled = elapsed - 1;
+            let head = self.rob.front().copied();
+            let head_miss = head.is_some_and(|h| h.is_load && h.llc_miss);
+            if head_miss {
+                self.stats.head_stall_cycles += stalled;
+                if let Some(tag) = head.and_then(|h| h.tag) {
+                    self.stats.tags.get_mut(tag).rob_head_stall_cycles += stalled;
+                }
+            }
+            if self.attr.is_some() {
+                // Classify the skipped window under the same exclusivity
+                // rule as a live cycle (pre-commit head state).
+                let pending = head.and_then(|h| {
+                    h.tag
+                        .and_then(|tag| self.ticket_of_seq(h.seq).map(|t| (t, tag)))
+                });
+                let rob_empty = self.rob.is_empty();
+                let rob_full = self.rob.len() >= self.cfg.rob_entries;
+                let attr = self.attr.as_deref_mut().expect("attribution enabled");
+                if head_miss {
+                    attr.buckets.load_miss += stalled;
+                    if let Some((ticket, tag)) = pending {
+                        attr.charge_load_miss(ticket, tag, stalled);
                     }
+                } else if rob_empty {
+                    attr.buckets.frontend_empty += stalled;
+                } else if rob_full {
+                    attr.buckets.rob_full += stalled;
+                } else {
+                    attr.buckets.other += stalled;
                 }
             }
         }
@@ -407,6 +489,7 @@ impl Core {
             }
         }
         // ROB-head stall accounting: blocked on an incomplete missing load.
+        let mut charged_load_miss = false;
         if committed_this_cycle < self.cfg.width {
             if let Some(h) = self.rob.front() {
                 if h.is_load && h.llc_miss && !(h.done && h.ready_at <= now) {
@@ -414,13 +497,27 @@ impl Core {
                     if let Some(tag) = h.tag {
                         self.stats.tags.get_mut(tag).rob_head_stall_cycles += 1;
                     }
+                    charged_load_miss = true;
                 }
+            }
+        }
+        if charged_load_miss && self.attr.is_some() {
+            let h = *self.rob.front().expect("head charged above");
+            if let Some((ticket, tag)) = h
+                .tag
+                .and_then(|tag| self.ticket_of_seq(h.seq).map(|t| (t, tag)))
+            {
+                self.attr
+                    .as_deref_mut()
+                    .expect("attribution enabled")
+                    .charge_load_miss(ticket, tag, 1);
             }
         }
 
         // ---- Issue stage: waiting loads whose dependencies resolved ----
         let mut issued = 0;
         let mut i = 0;
+        let mut mshr_retry = false;
         while i < self.waiting.len() && issued < self.cfg.width {
             let w = self.waiting[i];
             if !self.dep_resolved(w.dep_seq, now) {
@@ -449,8 +546,47 @@ impl Core {
                     self.waiting.remove(i);
                     issued += 1;
                 }
-                MemReply::Retry => break, // structural hazard: stop issuing
+                MemReply::Retry { mshr_full } => {
+                    // Structural hazard: stop issuing this cycle.
+                    mshr_retry = mshr_full;
+                    break;
+                }
             }
+        }
+
+        // ---- Cycle attribution: exactly one bucket per cycle ----
+        // Priority (DESIGN.md §10): the load-miss head stall charged above,
+        // then MSHR-full back-pressure on an unissued head load, then a
+        // productive (committing) cycle, then ROB-full / frontend-empty,
+        // else the residual bucket. The skipped-window cycles were already
+        // classified at the top of the tick, so the buckets sum to
+        // `stats.cycles` exactly.
+        if self.attr.is_some() {
+            let head = self.rob.front().copied();
+            // An issued head load is either done (hit) or llc_miss
+            // (pending), so "unissued" is the remaining load state.
+            let unissued_head = head.is_some_and(|h| h.is_load && !h.done && !h.llc_miss);
+            let rob_empty = self.rob.is_empty();
+            let rob_full = self.rob.len() >= self.cfg.rob_entries;
+            let mshr_tag = head.and_then(|h| h.tag);
+            let attr = self.attr.as_deref_mut().expect("attribution enabled");
+            if charged_load_miss {
+                attr.buckets.load_miss += 1;
+            } else if mshr_retry && unissued_head {
+                attr.buckets.mshr_full += 1;
+                if let Some(tag) = mshr_tag {
+                    attr.tags.get_mut(tag).mshr_full_cycles += 1;
+                }
+            } else if committed_this_cycle > 0 {
+                attr.buckets.committing += 1;
+            } else if rob_empty {
+                attr.buckets.frontend_empty += 1;
+            } else if rob_full {
+                attr.buckets.rob_full += 1;
+            } else {
+                attr.buckets.other += 1;
+            }
+            attr.end_tick();
         }
 
         // ---- Dispatch stage ----
@@ -501,7 +637,7 @@ impl Core {
                         s.accesses += 1;
                         self.ifetch_ticket = Some(ticket);
                     }
-                    MemReply::Retry => {
+                    MemReply::Retry { .. } => {
                         // Retry the fetch next cycle; re-buffer the instr.
                         self.fetched_line = u64::MAX;
                         self.buffered = Some(instr);
@@ -649,7 +785,7 @@ mod tests {
     impl MemPort for FakePort {
         fn load(&mut self, now: Cycle, _core: CoreId, _va: VirtAddr, _tag: MemTag) -> MemReply {
             if self.inflight.len() >= self.max_inflight {
-                return MemReply::Retry;
+                return MemReply::Retry { mshr_full: true };
             }
             let ticket = self.next_ticket;
             self.next_ticket += 1;
@@ -852,6 +988,93 @@ mod tests {
         port.drain(502, &mut core);
         core.tick(503, &mut port, &mut s);
         assert!(core.finished());
+    }
+
+    #[test]
+    fn attribution_buckets_sum_to_cycles() {
+        // With attribution on, every cycle lands in exactly one bucket and
+        // the load-miss bucket reproduces head_stall_cycles exactly.
+        let mut core = Core::new(CoreId(0), CoreConfig::default());
+        core.enable_attribution();
+        let mut port = FakePort::new(60);
+        port.max_inflight = 4; // force MSHR-full retries too
+        let mut s = loads(48, false).into_iter();
+        run(&mut core, &mut port, &mut s, 1_000_000);
+        let snap = core.attr_snapshot().expect("attribution enabled");
+        assert_eq!(snap.buckets.total(), core.stats().cycles);
+        assert_eq!(snap.buckets.load_miss, core.stats().head_stall_cycles);
+        assert!(snap.buckets.committing > 0);
+        // Per-object attribution reconciles with the classifier input.
+        let o0 = core.stats().tags.object(ObjectId(0));
+        assert_eq!(
+            snap.tags.object(ObjectId(0)).total_stall(),
+            o0.rob_head_stall_cycles
+        );
+    }
+
+    #[test]
+    fn mshr_full_cycles_charge_the_blocked_head() {
+        // A port that refuses every load until `open_at` models an MSHR
+        // file held full by other requesters: the unissued head load's
+        // stall cycles must land in the mshr_full bucket, per tag.
+        struct GatedPort {
+            open_at: Cycle,
+            inner: FakePort,
+        }
+        impl MemPort for GatedPort {
+            fn load(&mut self, now: Cycle, core: CoreId, va: VirtAddr, tag: MemTag) -> MemReply {
+                if now < self.open_at {
+                    return MemReply::Retry { mshr_full: true };
+                }
+                self.inner.load(now, core, va, tag)
+            }
+            fn store(&mut self, now: Cycle, core: CoreId, va: VirtAddr, tag: MemTag) -> StoreReply {
+                self.inner.store(now, core, va, tag)
+            }
+            fn ifetch(&mut self, now: Cycle, core: CoreId, va: VirtAddr) -> MemReply {
+                self.inner.ifetch(now, core, va)
+            }
+        }
+        let mut core = Core::new(CoreId(0), CoreConfig::default());
+        core.enable_attribution();
+        let mut port = GatedPort {
+            open_at: 50,
+            inner: FakePort::new(10),
+        };
+        let mut s = loads(4, false).into_iter();
+        let mut now = 0;
+        while !core.finished() && now < 10_000 {
+            now += 1;
+            port.inner.drain(now, &mut core);
+            core.tick(now, &mut port, &mut s);
+        }
+        assert!(core.finished());
+        let snap = core.attr_snapshot().unwrap();
+        assert!(snap.buckets.mshr_full > 30, "{:?}", snap.buckets);
+        assert_eq!(snap.buckets.total(), core.stats().cycles);
+        assert_eq!(
+            snap.tags.object(ObjectId(0)).mshr_full_cycles,
+            snap.buckets.mshr_full
+        );
+    }
+
+    #[test]
+    fn attribution_does_not_change_simulation() {
+        let run_once = |attr: bool| {
+            let mut core = Core::new(CoreId(0), CoreConfig::default());
+            if attr {
+                core.enable_attribution();
+            }
+            let mut port = FakePort::new(80);
+            let mut s = loads(32, true).into_iter();
+            run(&mut core, &mut port, &mut s, 1_000_000);
+            (
+                core.stats().cycles,
+                core.stats().committed,
+                core.stats().head_stall_cycles,
+            )
+        };
+        assert_eq!(run_once(false), run_once(true));
     }
 
     #[test]

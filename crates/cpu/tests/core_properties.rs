@@ -50,7 +50,7 @@ impl MemPort for ScriptedPort {
     fn load(&mut self, now: Cycle, _core: CoreId, _va: VirtAddr, _tag: MemTag) -> MemReply {
         self.calls += 1;
         if self.retry_every > 0 && self.calls.is_multiple_of(self.retry_every) {
-            return MemReply::Retry;
+            return MemReply::Retry { mshr_full: false };
         }
         let lat = self.latencies[self.cursor % self.latencies.len()] as Cycle;
         self.cursor += 1;

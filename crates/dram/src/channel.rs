@@ -59,6 +59,12 @@ pub struct Completion {
     pub service_cycles: Cycle,
     /// Whether the access hit the open row.
     pub row_hit: bool,
+    /// The access found another row open in its bank and had to precharge
+    /// it first (the row-buffer-conflict penalty path).
+    pub bank_conflict: bool,
+    /// The access arrived while a refresh window held the channel, so part
+    /// of its queueing delay was refresh-induced.
+    pub refresh_delayed: bool,
 }
 
 /// Configuration of one channel.
@@ -168,6 +174,8 @@ struct InFlight {
     queue_cycles: Cycle,
     service_cycles: Cycle,
     row_hit: bool,
+    bank_conflict: bool,
+    refresh_delayed: bool,
 }
 
 /// One memory channel: banks, queues, bus, refresh, statistics.
@@ -398,6 +406,8 @@ impl Channel {
                         queue_cycles: f.queue_cycles,
                         service_cycles: f.service_cycles,
                         row_hit: f.row_hit,
+                        bank_conflict: f.bank_conflict,
+                        refresh_delayed: f.refresh_delayed,
                     });
                 } else {
                     min_left = min_left.min(self.inflight[i].finish);
@@ -498,13 +508,15 @@ impl Channel {
         // coefficients included) once per issued command.
         let t = &self.cfg.timing;
         let is_hit = t.supports_row_hits() && self.banks[q.bank as usize].open_row == Some(q.row);
+        let bank_conflict = !is_hit && self.banks[q.bank as usize].open_row.is_some();
+        let refresh_delayed = q.arrival < self.refresh_until;
 
         let (ready, row_hit) = if is_hit {
             (now + t.t_cl, true)
         } else {
             debug_assert!(self.act_possible_at(&self.banks[q.bank as usize]) <= now);
             if let Some((tl, ch)) = tel.as_mut() {
-                if self.banks[q.bank as usize].open_row.is_some() {
+                if bank_conflict {
                     tl.record(
                         now,
                         Event::BankConflict {
@@ -547,6 +559,8 @@ impl Channel {
                 queue_cycles,
                 service_cycles,
                 row_hit,
+                bank_conflict,
+                refresh_delayed,
             });
             self.min_inflight_finish = self.min_inflight_finish.min(data_end);
         } else {

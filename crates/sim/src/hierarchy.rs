@@ -53,10 +53,6 @@ pub struct CoreHierarchy {
     deferred: VecDeque<Deferred>,
     l1_hit_latency: Cycle,
     l2_hit_latency: Cycle,
-    /// Set when the most recent [`MemReply::Retry`] was caused by MSHR
-    /// exhaustion (as opposed to a full channel queue); consumed by the
-    /// system loop to emit the matching telemetry event.
-    retry_was_mshr_full: bool,
 }
 
 impl CoreHierarchy {
@@ -80,14 +76,7 @@ impl CoreHierarchy {
             deferred: VecDeque::new(),
             l1_hit_latency,
             l2_hit_latency,
-            retry_was_mshr_full: false,
         }
-    }
-
-    /// Take (and clear) the MSHR-exhaustion marker left by the last
-    /// [`MemReply::Retry`].
-    pub fn take_retry_was_mshr_full(&mut self) -> bool {
-        std::mem::take(&mut self.retry_was_mshr_full)
     }
 
     /// L2 statistics (for MPKI cross-checks).
@@ -223,13 +212,11 @@ impl CoreHierarchy {
             };
         }
         if self.l2_mshr.is_full() {
-            self.retry_was_mshr_full = true;
-            return MemReply::Retry;
+            return MemReply::Retry { mshr_full: true };
         }
         let (ch, _) = mapper.map(line);
         if !channels[ch].can_accept(AccessKind::Read) {
-            self.retry_was_mshr_full = false;
-            return MemReply::Retry;
+            return MemReply::Retry { mshr_full: false };
         }
         let ticket = bump(tickets);
         let token = bump(tickets);
@@ -608,7 +595,7 @@ mod tests {
             &map,
             &mut t,
         );
-        assert_eq!(r, MemReply::Retry);
+        assert_eq!(r, MemReply::Retry { mshr_full: true });
     }
 
     #[test]

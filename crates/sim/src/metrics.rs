@@ -97,6 +97,9 @@ pub struct CoreResult {
     pub stats: CoreStats,
     /// Cycle at which the core hit its instruction target.
     pub finished_at: Cycle,
+    /// Cycle-attribution snapshot (CPI stack + per-object stall ledger),
+    /// present only when the run had attribution enabled.
+    pub attr: Option<moca_telemetry::attribution::AttrSnapshot>,
 }
 
 impl CoreResult {
@@ -194,6 +197,9 @@ pub struct RunResult {
     pub core_width: usize,
     /// Migration-engine statistics when dynamic migration was enabled.
     pub migration: Option<crate::migration::MigrationStats>,
+    /// Occupancy timeline (free frames per module kind, migration counts),
+    /// present only when the run had attribution enabled.
+    pub occupancy: Option<Vec<moca_telemetry::attribution::OccupancySample>>,
 }
 
 impl RunResult {
@@ -296,6 +302,7 @@ mod tests {
             app: "x".into(),
             stats,
             finished_at: 1_000_000,
+            attr: None,
         };
         let four = 4.0 * c.core_energy_j(3) / cycles_to_seconds(1_000_000);
         assert!(

@@ -9,6 +9,7 @@ use moca_common::ids::MemTag;
 use moca_common::{CoreId, Cycle, ObjectClass, VirtAddr};
 use moca_cpu::{Core, MemPort, MemReply, StoreReply};
 use moca_dram::{AddressMapper, Channel, Completion};
+use moca_telemetry::attribution::{tier_index, AttrSnapshot, Mechanism, OccupancySample};
 use moca_telemetry::{Event, Telemetry, WindowSnapshot};
 use moca_vm::layout::HeapLayout;
 use moca_vm::{FrameSpace, PagePlacementPolicy};
@@ -64,6 +65,17 @@ pub struct System {
     /// completion path runs once per off-chip read; keeping the buffer on
     /// the system makes the step loop allocation-free).
     woken_buf: Vec<u64>,
+    /// Cycle attribution enabled (CPI stacks + per-object stall ledgers on
+    /// every core). Off by default; purely observational either way.
+    attr_enabled: bool,
+    /// Reusable buffer of `(core, ticket, tier, mechanism)` resolutions
+    /// collected while delivering DRAM completions. Applied to the cores
+    /// only *after* their pipeline ticks, because a woken core may still
+    /// charge this cycle's skipped-window stall to the completed ticket.
+    attr_resolutions: Vec<(usize, u64, usize, Mechanism)>,
+    /// Occupancy timeline (attribution runs only): free-frame headroom per
+    /// module kind plus cumulative migration counts over the measured run.
+    occupancy: Vec<OccupancySample>,
     /// Optional dynamic page-migration engine (the runtime-monitoring
     /// baseline of §IV-E / related work).
     migrator: Option<Migrator>,
@@ -100,7 +112,7 @@ impl Port<'_> {
     /// `Retry` meant (channel-full retries stay silent: they are visible as
     /// queue-depth window samples instead).
     fn note_retry(&mut self, now: Cycle, core: CoreId, reply: &MemReply) {
-        if matches!(reply, MemReply::Retry) && self.hier.take_retry_was_mshr_full() {
+        if matches!(reply, MemReply::Retry { mshr_full: true }) {
             self.tel.record(now, Event::MshrFullStall { core: core.0 });
         }
     }
@@ -292,6 +304,9 @@ impl System {
             measuring: vec![true; n],
             frozen: vec![false; n],
             woken_buf: Vec::new(),
+            attr_enabled: false,
+            attr_resolutions: Vec::new(),
+            occupancy: Vec::new(),
             migrator: None,
             tel,
             win_next: 0,
@@ -387,11 +402,46 @@ impl System {
             end,
             samples,
         });
+        self.sample_occupancy();
         self.win_start = end;
         self.win_next = match self.tel.window_cycles {
             Some(w) => end.saturating_add(w),
             None => Cycle::MAX,
         };
+    }
+
+    /// Enable per-core cycle attribution (CPI stacks, per-object stall
+    /// ledgers, occupancy timeline). Call before `run`. Attribution is
+    /// strictly observational: the simulated machine never reads any of it,
+    /// so an attributed run is bit-identical to an unattributed one.
+    pub fn enable_attribution(&mut self) {
+        self.attr_enabled = true;
+        for c in &mut self.cores {
+            c.enable_attribution();
+        }
+    }
+
+    /// Push one occupancy-timeline sample (attribution runs only).
+    fn sample_occupancy(&mut self) {
+        if !self.attr_enabled {
+            return;
+        }
+        let (promotions, demotions) = self
+            .migration_stats()
+            .map_or((0, 0), |s| (s.promotions, s.demotions));
+        let free_frames = self
+            .os
+            .frames()
+            .headroom()
+            .into_iter()
+            .map(|(kind, free)| (kind.name().to_string(), free))
+            .collect();
+        self.occupancy.push(OccupancySample {
+            at: self.now,
+            free_frames,
+            promotions,
+            demotions,
+        });
     }
 
     /// Enable dynamic page migration with `cfg`. Call before `run`.
@@ -460,6 +510,21 @@ impl System {
             );
             for &t in &self.woken_buf {
                 self.cores[ci].complete(t, now);
+            }
+            if self.attr_enabled && !self.woken_buf.is_empty() {
+                // Which tier served this read and why it took as long as it
+                // did; one resolution per woken ticket, applied after the
+                // pipeline ticks below.
+                let (ch, _) = self.mapper.map(comp.line);
+                let tier = tier_index(self.channels[ch].config().timing.kind);
+                let mech = Mechanism::classify(
+                    comp.refresh_delayed,
+                    comp.bank_conflict,
+                    comp.queue_cycles,
+                );
+                for &t in &self.woken_buf {
+                    self.attr_resolutions.push((ci, t, tier, mech));
+                }
             }
             if let Some(m) = &mut self.migrator {
                 m.record_read(comp.line);
@@ -532,6 +597,15 @@ impl System {
         if let Some(t) = t0 {
             self.tel.components.cpu += t.elapsed();
         }
+
+        // Apply the attribution resolutions collected in phase 1. This must
+        // run after the pipeline ticks: a core woken by a completion may
+        // still charge this cycle's skipped-window stall to that ticket.
+        for k in 0..self.attr_resolutions.len() {
+            let (ci, ticket, tier, mech) = self.attr_resolutions[k];
+            self.cores[ci].attr_resolve(ticket, tier, mech);
+        }
+        self.attr_resolutions.clear();
 
         // 3½. Periodic metrics window.
         if self.tel.enabled() && self.now >= self.win_next {
@@ -621,16 +695,25 @@ impl System {
             // The resets zeroed the counters the window deltas are taken
             // against; restart the current window from here.
             self.rebaseline_windows();
+            self.occupancy.clear();
         }
         let measure_start = self.now;
+        self.sample_occupancy();
 
-        let mut frozen: Vec<Option<(moca_cpu::CoreStats, Cycle)>> = vec![None; n];
+        type FrozenCore = (moca_cpu::CoreStats, Cycle, Option<AttrSnapshot>);
+        let mut frozen: Vec<Option<FrozenCore>> = vec![None; n];
         while frozen.iter().any(Option::is_none) {
             self.step(&mut mem, &mut comps);
             assert!(self.now < watchdog, "simulation watchdog tripped");
+            let mut newly_frozen = false;
             for (i, slot) in frozen.iter_mut().enumerate() {
                 if slot.is_none() && self.cores[i].committed() >= instr_target {
-                    *slot = Some((self.cores[i].stats().clone(), self.now - measure_start));
+                    *slot = Some((
+                        self.cores[i].stats().clone(),
+                        self.now - measure_start,
+                        self.cores[i].attr_snapshot(),
+                    ));
+                    newly_frozen = true;
                     self.measuring[i] = false;
                     self.frozen[i] = true;
                     let committed = self.cores[i].committed();
@@ -643,6 +726,12 @@ impl System {
                         },
                     );
                 }
+            }
+            if newly_frozen {
+                // Occupancy-timeline point at every core-freeze boundary, so
+                // attributed runs get a timeline even without periodic
+                // telemetry windows.
+                self.sample_occupancy();
             }
         }
 
@@ -663,11 +752,12 @@ impl System {
             .into_iter()
             .zip(self.app_names.iter())
             .map(|(f, name)| {
-                let (stats, finished_at) = f.expect("all cores frozen");
+                let (stats, finished_at, attr) = f.expect("all cores frozen");
                 CoreResult {
                     app: name.clone(),
                     stats,
                     finished_at,
+                    attr,
                 }
             })
             .collect();
@@ -681,6 +771,11 @@ impl System {
             placement: self.os.take_placement(),
             core_width: self.cfg.core.width,
             migration: self.migration_stats(),
+            occupancy: if self.attr_enabled {
+                Some(std::mem::take(&mut self.occupancy))
+            } else {
+                None
+            },
         }
     }
 }

@@ -15,6 +15,7 @@
 //! The simulator threads a [`Telemetry`] value through its hot paths; when
 //! disabled every record call is a branch on one bool and returns.
 
+pub mod attribution;
 mod event;
 mod profiler;
 mod progress;
@@ -22,6 +23,10 @@ mod registry;
 mod sink;
 mod trace;
 
+pub use attribution::{
+    tier_index, tier_name, AttrSnapshot, AttrTagTable, CoreAttr, CycleBuckets, Mechanism,
+    OccupancySample, TagAttr, MECH_COUNT, TIER_COUNT, TIER_UNRESOLVED,
+};
 pub use event::{Event, EventIntent, TimedEvent};
 pub use profiler::{ComponentTimes, HostProfiler, HostSpan};
 pub use progress::ProgressReporter;

@@ -12,6 +12,7 @@ use std::time::Instant;
 pub struct ProgressReporter {
     t0: Instant,
     file: Option<std::fs::File>,
+    quiet: bool,
 }
 
 impl ProgressReporter {
@@ -50,16 +51,27 @@ impl ProgressReporter {
         ProgressReporter {
             t0: Instant::now(),
             file,
+            quiet: false,
         }
+    }
+
+    /// Silence stderr output (`--quiet`); the log file, if any, still
+    /// receives every line.
+    pub fn set_quiet(&mut self, quiet: bool) {
+        self.quiet = quiet;
     }
 
     /// Report one progress line.
     pub fn step(&mut self, msg: &str) {
         let line = format!("[repro +{:.1}s] {msg}", self.t0.elapsed().as_secs_f64());
-        eprintln!("{line}");
+        if !self.quiet {
+            eprintln!("{line}");
+        }
         if let Some(f) = &mut self.file {
             if writeln!(f, "{line}").and_then(|()| f.flush()).is_err() {
-                eprintln!("repro: progress log write failed; continuing on stderr only");
+                if !self.quiet {
+                    eprintln!("repro: progress log write failed; continuing on stderr only");
+                }
                 self.file = None;
             }
         }
@@ -87,5 +99,17 @@ mod tests {
         let bad = Path::new("/proc/definitely/not/writable/progress.log");
         let mut rep = ProgressReporter::new(Some(bad));
         rep.step("still alive");
+    }
+
+    #[test]
+    fn quiet_mode_still_writes_the_log_file() {
+        let dir = std::env::temp_dir().join("moca_tel_progress_quiet_test");
+        let path = dir.join("progress.log");
+        let mut rep = ProgressReporter::new(Some(&path));
+        rep.set_quiet(true);
+        rep.step("silent phase");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("silent phase"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

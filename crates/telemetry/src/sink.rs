@@ -155,6 +155,14 @@ impl Sink for JsonlSink {
     }
 }
 
+/// A run that panics or returns early without calling `flush` must still
+/// leave parseable (line-complete) telemetry on disk.
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +185,21 @@ mod tests {
         let drained = ring.drain();
         assert_eq!(drained.len(), 3);
         assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        let dir = std::env::temp_dir().join("moca_tel_jsonl_drop_test");
+        let path = dir.join("events.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.emit(3, ev(1));
+            // No explicit flush: the Drop impl must leave the line on disk.
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 1);
+        assert!(serde_json::parse(body.lines().next().unwrap()).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

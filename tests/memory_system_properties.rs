@@ -215,7 +215,7 @@ proptest! {
                     match hier.load(now, CoreId(0), pa, tag, 0, &mut channels, &mapper, &mut tickets) {
                         moca_cpu::MemReply::Pending { .. } => expected_wakeups += 1,
                         moca_cpu::MemReply::Done { .. } => {}
-                        moca_cpu::MemReply::Retry => {} // dropped: fine for this test
+                        moca_cpu::MemReply::Retry { .. } => {} // dropped: fine for this test
                     }
                 }
                 1 => {
