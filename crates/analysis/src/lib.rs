@@ -6,10 +6,14 @@
 //! wall-clock reads or threads on the simulated path, all randomness through
 //! the seeded [`moca_common::rng`], and no silent integer narrowing of
 //! cycle- or address-typed values. This crate enforces those conventions
-//! with a plain-Rust line/token scanner (no external parser — the workspace
-//! builds offline against shims), plus a `check-model` pass that validates
-//! the DRAM timing presets and the virtual address-space layout against
-//! their inter-parameter constraints.
+//! with a dependency-free Rust **lexer** ([`lexer`]: token stream with
+//! line/column spans — raw strings, nested block comments, char literals
+//! and lifetimes handled exactly), a per-crate **call graph**
+//! ([`functions`]: function spans, call sites, hot-root reachability), and
+//! a **taint pass** ([`taint`]: nondeterminism sources flowing into
+//! digests/telemetry), plus a `check-model` pass that validates the DRAM
+//! timing presets and the virtual address-space layout against their
+//! inter-parameter constraints.
 //!
 //! ## Rules
 //!
@@ -19,18 +23,38 @@
 //! | `wall-clock`     | all except `telemetry`/`bench` | `std::time::Instant` / `SystemTime`, thread spawning |
 //! | `unseeded-rng`   | everywhere                     | ambient randomness (`thread_rng`, `from_entropy`, …) |
 //! | `narrowing-cast` | simulated-path crates          | bare `as u32`/`as usize`/… on cycle/address-flavored expressions (use [`moca_common::units::narrow_u32`]) |
-//! | `hot-alloc`      | simulated-path crates          | heap allocation (`Vec::new()`, `vec![…]`, `format!`, `.to_string()`, `.collect::<Vec<…>>`) inside per-cycle hot functions (`fn tick*` / `fn step` / `fn on_completion*`) |
+//! | `hot-alloc`      | simulated-path crates          | heap allocation (`Vec::new()`, `vec![…]`, `format!`, `.to_string()`, `.to_vec()`, `Box::new()`, `.collect::<Vec<…>>`) in hot functions **and every function reachable from a cycle root** through the per-crate call graph |
+//! | `panic-in-hot`   | simulated-path crates          | `panic!`/`todo!`/`unimplemented!`/`.unwrap()`/`.expect(…)` in hot functions and their transitive callees — a data-dependent abort on the per-cycle path |
+//! | `det-taint`      | simulated-path crates          | a nondeterministic value (hash-ordered iteration, wall-clock read, ambient randomness, pointer-derived address) flowing — through returns and call arguments within a crate — into a digest/telemetry/ledger sink |
 //! | `attr-exclusive` | simulated-path crates          | two distinct CPI-stack bucket fields (`.committing += …`, `.load_miss += …`, …) incremented in the same immediate brace scope — buckets are exclusive per cycle, so charges must live in disjoint arms |
+//!
+//! Hot roots come in two tiers: **cycle roots** (`tick*`, `step`,
+//! `on_completion*`, `Channel::issue`) propagate hotness to every
+//! crate-local function they transitively call; **driver roots**
+//! (`Pipeline::evaluate*`) are hot in their own body only — they contain
+//! the measured region, but what they call directly is setup-rate.
 //!
 //! A finding is suppressed by an inline pragma on the same line or the line
 //! above — `// moca-lint: allow(<rule>): <justification>` (the justification
 //! is mandatory) — or by an entry in the committed baseline file
 //! (`lint-baseline.txt`), which exists for incremental burn-down and is
-//! empty in a healthy tree.
+//! empty in a healthy tree. A baseline entry matching no current finding is
+//! *stale* and fails the lint (prune with `--prune-baseline`).
+
+pub mod functions;
+pub mod lexer;
+pub mod sarif;
+pub mod taint;
 
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+use functions::{FnTable, HotReason};
+use lexer::{Token, TokenKind};
+
+pub use lexer::strip_code;
+pub use sarif::to_sarif;
 
 /// Crates whose source participates in simulated state: hash-ordered
 /// collections and silent narrowing are forbidden here.
@@ -60,7 +84,15 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "hot-alloc",
-        "heap allocation inside per-cycle hot functions; hoist a reusable buffer to the owning struct",
+        "heap allocation inside per-cycle hot functions or their transitive callees; hoist a reusable buffer",
+    ),
+    (
+        "panic-in-hot",
+        "panic!/unwrap/expect on the per-cycle hot path; handle the case or justify the invariant",
+    ),
+    (
+        "det-taint",
+        "nondeterministic value flows into a digest/telemetry sink; order or seed it first",
     ),
     (
         "attr-exclusive",
@@ -97,6 +129,15 @@ impl fmt::Display for Finding {
     }
 }
 
+/// One source file handed to [`scan_crate`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path to report in findings (workspace-relative).
+    pub rel: PathBuf,
+    /// Raw source text.
+    pub raw: String,
+}
+
 /// Baseline key of a finding: `rule|path|trimmed-line`. Content-addressed
 /// (no line number) so unrelated edits above a baselined finding do not
 /// invalidate the entry.
@@ -117,128 +158,36 @@ pub fn load_baseline(path: &Path) -> BTreeSet<String> {
         .collect()
 }
 
-/// Strip comments and string/char-literal *contents* from Rust source,
-/// returning one entry per input line with code structure preserved (so
-/// token positions still correspond to the original lines). Handles line
-/// comments, nested block comments, string literals with escapes, raw
-/// strings (`r"…"`, `r#"…"#`), and char literals vs. lifetimes.
-pub fn strip_code(src: &str) -> Vec<String> {
-    #[derive(Clone, Copy, PartialEq)]
-    enum State {
-        Code,
-        Block(u32),
-        Str,
-        RawStr(u32),
-    }
-    let mut out = Vec::new();
-    let mut state = State::Code;
-    for line in src.lines() {
-        let b: Vec<char> = line.chars().collect();
-        let mut kept = String::with_capacity(line.len());
-        let mut i = 0;
-        while i < b.len() {
-            match state {
-                State::Block(depth) => {
-                    if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
-                        state = State::Block(depth + 1);
-                        i += 2;
-                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
-                        state = if depth == 1 {
-                            State::Code
-                        } else {
-                            State::Block(depth - 1)
-                        };
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-                State::Str => {
-                    if b[i] == '\\' {
-                        i += 2;
-                    } else if b[i] == '"' {
-                        state = State::Code;
-                        kept.push('"');
-                        i += 1;
-                    } else {
-                        i += 1;
-                    }
-                }
-                State::RawStr(hashes) => {
-                    if b[i] == '"' {
-                        let n = hashes as usize;
-                        if b[i + 1..].len() >= n && b[i + 1..i + 1 + n].iter().all(|&c| c == '#') {
-                            state = State::Code;
-                            kept.push('"');
-                            i += 1 + n;
-                            continue;
-                        }
-                    }
-                    i += 1;
-                }
-                State::Code => {
-                    let c = b[i];
-                    if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
-                        break; // rest of line is a comment
-                    }
-                    if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
-                        state = State::Block(1);
-                        i += 2;
-                        continue;
-                    }
-                    if c == '"' {
-                        state = State::Str;
-                        kept.push('"');
-                        i += 1;
-                        continue;
-                    }
-                    if c == 'r' && i + 1 < b.len() && (b[i + 1] == '"' || b[i + 1] == '#') {
-                        // Possible raw string: r", r#", r##", …
-                        let mut j = i + 1;
-                        let mut hashes = 0u32;
-                        while j < b.len() && b[j] == '#' {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if j < b.len() && b[j] == '"' {
-                            state = State::RawStr(hashes);
-                            kept.push('"');
-                            i = j + 1;
-                            continue;
-                        }
-                        kept.push(c);
-                        i += 1;
-                        continue;
-                    }
-                    if c == '\'' {
-                        // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
-                        if i + 1 < b.len() && b[i + 1] == '\\' {
-                            // Escaped char literal: skip to closing quote.
-                            let mut j = i + 2;
-                            while j < b.len() && b[j] != '\'' {
-                                j += 1;
-                            }
-                            i = j + 1;
-                            continue;
-                        }
-                        if i + 2 < b.len() && b[i + 2] == '\'' {
-                            i += 3; // plain char literal 'x'
-                            continue;
-                        }
-                        // Lifetime: keep nothing, skip the quote.
-                        i += 1;
-                        continue;
-                    }
-                    kept.push(c);
-                    i += 1;
-                }
-            }
+/// Baseline entries that match no current finding. A stale entry means the
+/// offending line was fixed (or edited): the suppression must be removed —
+/// or rewritten by `--prune-baseline` — so the baseline only ever shrinks
+/// toward empty.
+pub fn stale_baseline_keys(findings: &[Finding], baseline: &BTreeSet<String>) -> Vec<String> {
+    let present: BTreeSet<String> = findings.iter().map(baseline_key).collect();
+    baseline
+        .iter()
+        .filter(|k| !present.contains(*k))
+        .cloned()
+        .collect()
+}
+
+/// Rewrite a baseline file in place, dropping the given stale keys while
+/// preserving comment and blank lines.
+pub fn prune_baseline_file(path: &Path, stale: &BTreeSet<String>) -> std::io::Result<usize> {
+    let text = std::fs::read_to_string(path)?;
+    let mut kept = String::new();
+    let mut dropped = 0usize;
+    for line in text.lines() {
+        let t = line.trim();
+        if !t.is_empty() && !t.starts_with('#') && stale.contains(t) {
+            dropped += 1;
+            continue;
         }
-        // An unterminated line comment never spans lines; strings and block
-        // comments carry their state into the next line.
-        out.push(kept);
+        kept.push_str(line);
+        kept.push('\n');
     }
-    out
+    std::fs::write(path, kept)?;
+    Ok(dropped)
 }
 
 /// True if `token` occurs in `line` delimited by non-identifier characters.
@@ -294,18 +243,12 @@ const NARROWING_MARKERS: &[&str] = &[
 /// Narrowing cast targets the rule watches for.
 const NARROWING_CASTS: &[&str] = &["as u32", "as u16", "as u8", "as usize"];
 
-/// Allocation tokens the `hot-alloc` rule watches for inside hot functions.
-const HOT_ALLOC_TOKENS: &[&str] = &[
-    "Vec::new",
-    "vec![",
-    ".to_string()",
-    "format!",
-    ".collect::<Vec",
-];
-
-/// If `line` declares a function the `hot-alloc` rule treats as hot —
-/// a per-cycle/simulation entry point (`tick*`, `step`, `on_completion*`)
-/// — return its name.
+/// If `line` declares a function the hot rules treat as hot — a per-cycle
+/// simulation entry point (`tick*`, `step`, `on_completion*`), the DRAM
+/// command scheduler (`issue`, i.e. `Channel::issue`), or the evaluation
+/// driver (`evaluate*`, i.e. `Pipeline::evaluate*`) — return its name.
+/// This line-based check is what makes direct hot *bodies* correct even
+/// without the call-graph pass.
 pub fn hot_fn_name(line: &str) -> Option<&str> {
     let is_ident = |c: char| c.is_alphanumeric() || c == '_';
     let mut search = 0;
@@ -318,48 +261,17 @@ pub fn hot_fn_name(line: &str) -> Option<&str> {
         let rest = &line[at + 3..];
         let name_len = rest.chars().take_while(|&c| is_ident(c)).count();
         let name = &rest[..name_len];
-        if name.starts_with("tick") || name == "step" || name.starts_with("on_completion") {
+        if name.starts_with("tick")
+            || name == "step"
+            || name.starts_with("on_completion")
+            || name == "issue"
+            || name == "evaluate"
+            || name.starts_with("evaluate_")
+        {
             return Some(name);
         }
     }
     None
-}
-
-/// For each stripped source line, the name of the enclosing hot function
-/// (see [`hot_fn_name`]), tracked by brace depth. A line partially inside
-/// a hot body (e.g. the closing `}` line) counts as inside.
-fn hot_spans<'a>(code: &'a [String]) -> Vec<Option<&'a str>> {
-    let mut out: Vec<Option<&'a str>> = vec![None; code.len()];
-    let mut depth: i64 = 0;
-    // (name, depth of the fn body's opening brace)
-    let mut stack: Vec<(&str, i64)> = Vec::new();
-    let mut pending: Option<&str> = None;
-    for (ln, line) in code.iter().enumerate() {
-        if let Some(name) = hot_fn_name(line) {
-            pending = Some(name);
-        }
-        let mut line_hot = stack.last().map(|&(n, _)| n);
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    if let Some(name) = pending.take() {
-                        stack.push((name, depth));
-                        line_hot.get_or_insert(name);
-                    }
-                }
-                '}' => {
-                    if stack.last().is_some_and(|&(_, d)| d == depth) {
-                        stack.pop();
-                    }
-                    depth -= 1;
-                }
-                _ => {}
-            }
-        }
-        out[ln] = line_hot;
-    }
-    out
 }
 
 /// CPI-stack bucket fields of `moca_telemetry::attribution::CycleBuckets`.
@@ -400,108 +312,226 @@ fn bucket_increments(line: &str) -> Vec<(usize, &'static str)> {
     out
 }
 
-/// Wall-clock / threading tokens.
-const WALL_CLOCK_TOKENS: &[&str] = &["Instant", "SystemTime"];
-const THREAD_TOKENS: &[&str] = &["thread::spawn", "thread::scope", "thread::sleep"];
-
-/// Ambient-randomness tokens (anything not flowing through
+/// Ambient-randomness identifiers (anything not flowing through
 /// `moca_common::rng::DetRng`).
-const RNG_TOKENS: &[&str] = &[
+const RNG_IDENTS: &[&str] = &[
     "thread_rng",
     "from_entropy",
     "RandomState",
-    "rand::random",
     "getrandom",
     "fastrand",
 ];
 
-/// Lint one file. `crate_name` is the directory name under `crates/`
-/// (e.g. `sim`); `rel` is the path to report in findings. `raw` is the
-/// original source.
-pub fn scan_file(crate_name: &str, rel: &Path, raw: &str) -> Vec<Finding> {
-    let raw_lines: Vec<&str> = raw.lines().collect();
-    let code = strip_code(raw);
-    let sim_path = SIM_PATH_CRATES.contains(&crate_name);
-    let clock_checked = !WALL_CLOCK_EXEMPT_CRATES.contains(&crate_name);
-    let hot = if sim_path {
-        hot_spans(&code)
-    } else {
-        Vec::new()
-    };
-    let mut findings = Vec::new();
+/// Display names of the allocation patterns `hot-alloc` matches over the
+/// token stream (the matcher itself is token-sequence based, so multi-line
+/// spellings like a `.collect::<\nVec<_>>()` split across lines still hit).
+pub const HOT_ALLOC_PATTERNS: &[&str] = &[
+    "Vec::new()",
+    "vec![…]",
+    ".to_string()",
+    "format!",
+    ".collect::<Vec<…>>()",
+    "Box::new()",
+    ".to_vec()",
+];
 
-    let mut push = |rule: &'static str, ln: usize, message: String| {
-        // Pragma on the finding line or the line above suppresses it.
-        let suppressed = has_allow_pragma(raw_lines[ln], rule)
-            || (ln > 0 && has_allow_pragma(raw_lines[ln - 1], rule));
+/// Display names of the abort patterns `panic-in-hot` matches.
+pub const PANIC_PATTERNS: &[&str] = &[
+    "panic!",
+    "todo!",
+    "unimplemented!",
+    ".unwrap()",
+    ".expect(…)",
+];
+
+/// Match an allocation pattern starting at token `k`; returns the display
+/// name from [`HOT_ALLOC_PATTERNS`].
+fn alloc_pattern_at(toks: &[Token], k: usize) -> Option<&'static str> {
+    let t = &toks[k];
+    let path2 = |a: &str, b: &str| {
+        t.is_ident(a)
+            && toks.get(k + 1).is_some_and(|x| x.is_punct(':'))
+            && toks.get(k + 2).is_some_and(|x| x.is_punct(':'))
+            && toks.get(k + 3).is_some_and(|x| x.is_ident(b))
+    };
+    if path2("Vec", "new") {
+        return Some("Vec::new()");
+    }
+    if path2("Box", "new") {
+        return Some("Box::new()");
+    }
+    if t.is_ident("vec") && toks.get(k + 1).is_some_and(|x| x.is_punct('!')) {
+        return Some("vec![…]");
+    }
+    if t.is_ident("format") && toks.get(k + 1).is_some_and(|x| x.is_punct('!')) {
+        return Some("format!");
+    }
+    if t.is_punct('.') {
+        if let Some(m) = toks.get(k + 1) {
+            if m.kind == TokenKind::Ident && toks.get(k + 2).is_some_and(|x| x.is_punct('(')) {
+                if m.text == "to_string" {
+                    return Some(".to_string()");
+                }
+                if m.text == "to_vec" {
+                    return Some(".to_vec()");
+                }
+            }
+            // `.collect::<Vec…>` — the turbofish may span lines; the first
+            // identifier inside the angle brackets decides.
+            if m.is_ident("collect")
+                && toks.get(k + 2).is_some_and(|x| x.is_punct(':'))
+                && toks.get(k + 3).is_some_and(|x| x.is_punct(':'))
+                && toks.get(k + 4).is_some_and(|x| x.is_punct('<'))
+            {
+                let first_ident = toks[k + 5..]
+                    .iter()
+                    .find(|x| x.kind == TokenKind::Ident || x.kind == TokenKind::Punct);
+                if first_ident.is_some_and(|x| x.is_ident("Vec")) {
+                    return Some(".collect::<Vec<…>>()");
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Match a panic pattern starting at token `k`; returns the display name
+/// from [`PANIC_PATTERNS`].
+fn panic_pattern_at(toks: &[Token], k: usize) -> Option<&'static str> {
+    let t = &toks[k];
+    if toks.get(k + 1).is_some_and(|x| x.is_punct('!')) {
+        if t.is_ident("panic") {
+            return Some("panic!");
+        }
+        if t.is_ident("todo") {
+            return Some("todo!");
+        }
+        if t.is_ident("unimplemented") {
+            return Some("unimplemented!");
+        }
+    }
+    if t.is_punct('.') {
+        if let Some(m) = toks.get(k + 1) {
+            if m.kind == TokenKind::Ident && toks.get(k + 2).is_some_and(|x| x.is_punct('(')) {
+                if m.text == "unwrap" {
+                    return Some(".unwrap()");
+                }
+                if m.text == "expect" {
+                    return Some(".expect(…)");
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Per-file context shared by the passes.
+struct FileCtx {
+    rel: PathBuf,
+    raw_lines: Vec<String>,
+    code: Vec<String>,
+    toks: Vec<Token>,
+}
+
+impl FileCtx {
+    fn new(rel: &Path, raw: &str) -> FileCtx {
+        FileCtx {
+            rel: rel.to_path_buf(),
+            raw_lines: raw.lines().map(str::to_string).collect(),
+            code: lexer::strip_code(raw),
+            toks: lexer::lex(raw),
+        }
+    }
+
+    /// Push a finding at 0-based line `ln` unless a pragma suppresses it.
+    fn push(&self, findings: &mut Vec<Finding>, rule: &'static str, ln: usize, message: String) {
+        if ln >= self.raw_lines.len() {
+            return;
+        }
+        let suppressed = has_allow_pragma(&self.raw_lines[ln], rule)
+            || (ln > 0 && has_allow_pragma(&self.raw_lines[ln - 1], rule));
         if !suppressed {
             findings.push(Finding {
                 rule,
-                path: rel.to_path_buf(),
+                path: self.rel.clone(),
                 line: ln + 1,
-                excerpt: raw_lines[ln].trim().to_string(),
+                excerpt: self.raw_lines[ln].trim().to_string(),
                 message,
             });
         }
-    };
+    }
+}
 
-    // attr-exclusive state: distinct bucket fields incremented *directly* in
-    // each open brace scope (index 0 = file top level); nested scopes are
-    // separate arms and do not conflict with their parents.
-    let mut attr_scopes: Vec<Vec<&'static str>> = vec![Vec::new()];
+/// Lint one crate: per-file rules plus the crate-wide flow passes
+/// (hot-path propagation, determinism taint). `crate_name` is the
+/// directory name under `crates/` (e.g. `sim`).
+pub fn scan_crate(crate_name: &str, files: &[SourceFile]) -> Vec<Finding> {
+    let sim_path = SIM_PATH_CRATES.contains(&crate_name);
+    let clock_checked = !WALL_CLOCK_EXEMPT_CRATES.contains(&crate_name);
+    let ctxs: Vec<FileCtx> = files.iter().map(|f| FileCtx::new(&f.rel, &f.raw)).collect();
+    let mut findings = Vec::new();
 
-    for (ln, line) in code.iter().enumerate() {
-        if sim_path {
-            let incs = bucket_increments(line);
-            let mut k = 0;
-            for (i, c) in line.char_indices() {
-                while k < incs.len() && incs[k].0 <= i {
-                    let field = incs[k].1;
-                    k += 1;
-                    let top = attr_scopes.last_mut().expect("scope stack non-empty");
-                    if !top.contains(&field) {
-                        if let Some(&prev) = top.first() {
-                            push(
-                                "attr-exclusive",
-                                ln,
-                                format!(
-                                    "`.{field} +=` in the same brace scope as `.{prev} +=`; \
-                                     CPI-stack buckets are exclusive — every cycle belongs to \
-                                     exactly one bucket, so charges must live in disjoint arms"
-                                ),
-                            );
-                        }
-                        top.push(field);
-                    }
-                }
-                match c {
-                    '{' => attr_scopes.push(Vec::new()),
-                    '}' if attr_scopes.len() > 1 => {
-                        attr_scopes.pop();
-                    }
-                    _ => {}
-                }
-            }
+    for ctx in &ctxs {
+        scan_tokens_per_file(ctx, sim_path, clock_checked, &mut findings);
+        scan_lines_per_file(ctx, sim_path, &mut findings);
+    }
+
+    if sim_path {
+        let streams: Vec<Vec<Token>> = ctxs.iter().map(|c| c.toks.clone()).collect();
+        let table = FnTable::build(&streams);
+        hot_pass(&table, &ctxs, &mut findings);
+        taint_pass(&table, &ctxs, &mut findings);
+    }
+
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    findings
+}
+
+/// Token-based per-file rules: `det-map`, `wall-clock`, `unseeded-rng`.
+/// One finding per (rule, line, pattern), matching v1's per-line report
+/// granularity with span-accurate matching.
+fn scan_tokens_per_file(
+    ctx: &FileCtx,
+    sim_path: bool,
+    clock_checked: bool,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &ctx.toks;
+    let mut seen: BTreeSet<(usize, &'static str)> = BTreeSet::new();
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
         }
-        if sim_path {
-            for tok in ["HashMap", "HashSet"] {
-                if has_token(line, tok) {
-                    push(
-                        "det-map",
-                        ln,
-                        format!(
-                            "{tok} iteration order is nondeterministic; use \
-                             moca_common::det::{} instead",
-                            if tok == "HashMap" { "DetMap" } else { "DetSet" }
-                        ),
-                    );
-                }
+        let ln = t.line - 1;
+        if sim_path && (t.text == "HashMap" || t.text == "HashSet") {
+            let tok: &'static str = if t.text == "HashMap" {
+                "HashMap"
+            } else {
+                "HashSet"
+            };
+            if seen.insert((ln, tok)) {
+                ctx.push(
+                    findings,
+                    "det-map",
+                    ln,
+                    format!(
+                        "{tok} iteration order is nondeterministic; use \
+                         moca_common::det::{} instead",
+                        if tok == "HashMap" { "DetMap" } else { "DetSet" }
+                    ),
+                );
             }
         }
         if clock_checked {
-            for tok in WALL_CLOCK_TOKENS {
-                if has_token(line, tok) {
-                    push(
+            if t.text == "Instant" || t.text == "SystemTime" {
+                let tok: &'static str = if t.text == "Instant" {
+                    "Instant"
+                } else {
+                    "SystemTime"
+                };
+                if seen.insert((ln, tok)) {
+                    ctx.push(
+                        findings,
                         "wall-clock",
                         ln,
                         format!(
@@ -511,70 +541,284 @@ pub fn scan_file(crate_name: &str, rel: &Path, raw: &str) -> Vec<Finding> {
                     );
                 }
             }
-            for tok in THREAD_TOKENS {
-                if line.contains(tok) {
-                    push(
-                        "wall-clock",
-                        ln,
-                        format!("{tok} spawns host threads outside telemetry/bench"),
-                    );
+            if t.text == "thread"
+                && toks.get(k + 1).is_some_and(|x| x.is_punct(':'))
+                && toks.get(k + 2).is_some_and(|x| x.is_punct(':'))
+            {
+                if let Some(m) = toks.get(k + 3) {
+                    let tok: Option<&'static str> = if m.is_ident("spawn") {
+                        Some("thread::spawn")
+                    } else if m.is_ident("scope") {
+                        Some("thread::scope")
+                    } else if m.is_ident("sleep") {
+                        Some("thread::sleep")
+                    } else {
+                        None
+                    };
+                    if let Some(tok) = tok {
+                        if seen.insert((ln, tok)) {
+                            ctx.push(
+                                findings,
+                                "wall-clock",
+                                ln,
+                                format!("{tok} spawns host threads outside telemetry/bench"),
+                            );
+                        }
+                    }
                 }
             }
         }
-        for tok in RNG_TOKENS {
-            if line.contains(tok) {
-                push(
+        if let Some(&tok) = RNG_IDENTS.iter().find(|&&r| t.text == r) {
+            if seen.insert((ln, tok)) {
+                ctx.push(
+                    findings,
                     "unseeded-rng",
                     ln,
                     format!("{tok} draws ambient entropy; use moca_common::rng::DetRng"),
                 );
             }
         }
-        if sim_path {
-            let casts: Vec<&str> = NARROWING_CASTS
+        if t.text == "rand"
+            && toks.get(k + 1).is_some_and(|x| x.is_punct(':'))
+            && toks.get(k + 2).is_some_and(|x| x.is_punct(':'))
+            && toks.get(k + 3).is_some_and(|x| x.is_ident("random"))
+            && seen.insert((ln, "rand::random"))
+        {
+            ctx.push(
+                findings,
+                "unseeded-rng",
+                ln,
+                "rand::random draws ambient entropy; use moca_common::rng::DetRng".to_string(),
+            );
+        }
+    }
+}
+
+/// Stripped-line rules kept from v1 (their 3-line-window / brace-scope
+/// logic is inherently line-oriented): `narrowing-cast`, `attr-exclusive`.
+fn scan_lines_per_file(ctx: &FileCtx, sim_path: bool, findings: &mut Vec<Finding>) {
+    if !sim_path {
+        return;
+    }
+    let code = &ctx.code;
+    // attr-exclusive state: distinct bucket fields incremented *directly* in
+    // each open brace scope (index 0 = file top level); nested scopes are
+    // separate arms and do not conflict with their parents.
+    let mut attr_scopes: Vec<Vec<&'static str>> = vec![Vec::new()];
+
+    for (ln, line) in code.iter().enumerate() {
+        let incs = bucket_increments(line);
+        let mut k = 0;
+        for (i, c) in line.char_indices() {
+            while k < incs.len() && incs[k].0 <= i {
+                let field = incs[k].1;
+                k += 1;
+                let top = attr_scopes.last_mut().expect("scope stack non-empty");
+                if !top.contains(&field) {
+                    if let Some(&prev) = top.first() {
+                        ctx.push(
+                            findings,
+                            "attr-exclusive",
+                            ln,
+                            format!(
+                                "`.{field} +=` in the same brace scope as `.{prev} +=`; \
+                                 CPI-stack buckets are exclusive — every cycle belongs to \
+                                 exactly one bucket, so charges must live in disjoint arms"
+                            ),
+                        );
+                    }
+                    top.push(field);
+                }
+            }
+            match c {
+                '{' => attr_scopes.push(Vec::new()),
+                '}' if attr_scopes.len() > 1 => {
+                    attr_scopes.pop();
+                }
+                _ => {}
+            }
+        }
+
+        let casts: Vec<&str> = NARROWING_CASTS
+            .iter()
+            .copied()
+            .filter(|c| has_token(line, c))
+            .collect();
+        if !casts.is_empty() {
+            // `as usize` is a widening on 64-bit hosts unless the source
+            // is 64-bit flavored; require a marker in a 3-line window.
+            let lo = ln.saturating_sub(2);
+            let window = &code[lo..=ln];
+            let marked = window
                 .iter()
-                .copied()
-                .filter(|c| has_token(line, c))
-                .collect();
-            if !casts.is_empty() {
-                // `as usize` is a widening on 64-bit hosts unless the source
-                // is 64-bit flavored; require a marker in a 3-line window.
-                let lo = ln.saturating_sub(2);
-                let window = &code[lo..=ln];
-                let marked = window
-                    .iter()
-                    .any(|l| NARROWING_MARKERS.iter().any(|m| l.contains(m)));
-                if marked {
-                    push(
-                        "narrowing-cast",
+                .any(|l| NARROWING_MARKERS.iter().any(|m| l.contains(m)));
+            if marked {
+                ctx.push(
+                    findings,
+                    "narrowing-cast",
+                    ln,
+                    format!(
+                        "bare `{}` may silently truncate a cycle/address \
+                         value; use moca_common::units::narrow_*",
+                        casts[0]
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Render a hot reason for messages: empty for a root, or the chain.
+fn hot_chain(table: &FnTable, i: usize, reason: &HotReason) -> String {
+    match reason {
+        HotReason::Root => String::new(),
+        HotReason::ReachedFrom { root, via } => {
+            let mut chain = via.join(" → ");
+            chain.push_str(" → ");
+            chain.push_str(&table.fns[i].qual);
+            format!(", reachable from hot root `{root}` via {chain}")
+        }
+    }
+}
+
+/// Apply `hot-alloc` and `panic-in-hot` over the hot set (direct roots and
+/// call-graph-reachable functions). One finding per (rule, file, line) —
+/// the leftmost pattern on a line wins, as in v1.
+fn hot_pass(table: &FnTable, ctxs: &[FileCtx], findings: &mut Vec<Finding>) {
+    let hot = table.hot_set();
+    let mut flagged: BTreeSet<(&'static str, usize, usize)> = BTreeSet::new();
+    for (i, reason) in hot.iter().enumerate() {
+        let Some(reason) = reason else { continue };
+        let f = &table.fns[i];
+        let Some((a, b)) = f.body else { continue };
+        let ctx = &ctxs[f.file];
+        let chain = hot_chain(table, i, reason);
+        for k in a..=b {
+            if let Some(tok) = alloc_pattern_at(&ctx.toks, k) {
+                let ln = ctx.toks[k].line - 1;
+                if flagged.insert(("hot-alloc", f.file, ln)) {
+                    ctx.push(
+                        findings,
+                        "hot-alloc",
                         ln,
                         format!(
-                            "bare `{}` may silently truncate a cycle/address \
-                             value; use moca_common::units::narrow_*",
-                            casts[0]
+                            "`{tok}` allocates inside per-cycle hot function \
+                             `{}`{chain}; hoist a reusable buffer to the owning \
+                             struct (cf. System::woken_buf) or justify with a pragma",
+                            f.qual
                         ),
                     );
                 }
             }
-            if let Some(fn_name) = hot[ln] {
-                for tok in HOT_ALLOC_TOKENS {
-                    if line.contains(tok) {
-                        push(
-                            "hot-alloc",
-                            ln,
-                            format!(
-                                "`{tok}` allocates inside per-cycle hot function \
-                                 `{fn_name}`; hoist a reusable buffer to the owning \
-                                 struct (cf. System::woken_buf) or justify with a pragma"
-                            ),
-                        );
-                        break;
-                    }
+            if let Some(tok) = panic_pattern_at(&ctx.toks, k) {
+                let ln = ctx.toks[k].line - 1;
+                if flagged.insert(("panic-in-hot", f.file, ln)) {
+                    ctx.push(
+                        findings,
+                        "panic-in-hot",
+                        ln,
+                        format!(
+                            "`{tok}` can abort the run from per-cycle hot function \
+                             `{}`{chain}; handle the None/Err case on the hot path \
+                             or justify the invariant with a pragma",
+                            f.qual
+                        ),
+                    );
                 }
             }
         }
     }
-    findings
+}
+
+/// Rule whose allow-pragma, placed at a taint *source*, declares the value
+/// host-only and stops it from seeding taint (a clock read justified as
+/// "never read by the simulation" must not poison every caller). A
+/// `det-taint` pragma at the source works for every kind.
+fn taint_source_rule(kind: &str) -> &'static str {
+    match kind {
+        "wall-clock read" => "wall-clock",
+        "ambient randomness" => "unseeded-rng",
+        "hash-ordered iteration" => "det-map",
+        _ => "det-taint",
+    }
+}
+
+/// Apply `det-taint`: for every tainted function, flag each sink call site
+/// with the source and the call chain the taint arrived through.
+fn taint_pass(table: &FnTable, ctxs: &[FileCtx], findings: &mut Vec<Finding>) {
+    let source_justified = |ctx: &FileCtx, s: &taint::TaintSource| {
+        let ln = s.line - 1;
+        [taint_source_rule(s.kind), "det-taint"].iter().any(|rule| {
+            ctx.raw_lines
+                .get(ln)
+                .is_some_and(|l| has_allow_pragma(l, rule))
+                || (ln > 0
+                    && ctx
+                        .raw_lines
+                        .get(ln - 1)
+                        .is_some_and(|l| has_allow_pragma(l, rule)))
+        })
+    };
+    let sources: Vec<Vec<taint::TaintSource>> = table
+        .fns
+        .iter()
+        .map(|f| match f.body {
+            Some((a, b)) => {
+                let ctx = &ctxs[f.file];
+                taint::body_sources(&ctx.toks, a, b)
+                    .into_iter()
+                    .filter(|s| !source_justified(ctx, s))
+                    .collect()
+            }
+            None => Vec::new(),
+        })
+        .collect();
+    let taints = taint::propagate(table, &sources);
+    let mut flagged: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (i, t) in taints.iter().enumerate() {
+        let Some(t) = t else { continue };
+        let f = &table.fns[i];
+        let ctx = &ctxs[f.file];
+        for call in &f.calls {
+            if !taint::is_sink_name(&call.name) {
+                continue;
+            }
+            let ln = call.line - 1;
+            if !flagged.insert((f.file, ln)) {
+                continue;
+            }
+            let via = if t.via.is_empty() {
+                format!("in `{}` itself", f.qual)
+            } else {
+                format!("via `{}`", t.via.join(" → "))
+            };
+            ctx.push(
+                findings,
+                "det-taint",
+                ln,
+                format!(
+                    "sink `{}` is called in `{}`, which carries a {} \
+                     originating in `{}` (line {}, {}); a nondeterministic \
+                     value must not reach digests/telemetry — order or seed \
+                     it before folding it into sim-visible state",
+                    call.name, f.qual, t.source.kind, t.origin, t.source.line, via
+                ),
+            );
+        }
+    }
+}
+
+/// Lint one file. `crate_name` is the directory name under `crates/`
+/// (e.g. `sim`); `rel` is the path to report in findings. `raw` is the
+/// original source. Equivalent to a single-file [`scan_crate`].
+pub fn scan_file(crate_name: &str, rel: &Path, raw: &str) -> Vec<Finding> {
+    scan_crate(
+        crate_name,
+        &[SourceFile {
+            rel: rel.to_path_buf(),
+            raw: raw.to_string(),
+        }],
+    )
 }
 
 /// Recursively collect `.rs` files under `dir`, sorted for deterministic
@@ -597,9 +841,10 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 }
 
 /// Scan every crate's `src/` under `<root>/crates/`, plus the shared
-/// integration tests in `<root>/tests/`. The `analysis` crate itself is
-/// excluded: its rule tables and fixtures necessarily spell the forbidden
-/// tokens.
+/// integration tests in `<root>/tests/`. Each crate is scanned as a unit
+/// so the call-graph and taint passes see cross-file flows. The `analysis`
+/// crate itself is excluded: its rule tables and fixtures necessarily
+/// spell the forbidden tokens.
 pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
     let crates_dir = root.join("crates");
@@ -623,26 +868,30 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
         if !src.is_dir() {
             continue;
         }
+        let mut paths = Vec::new();
+        rust_files(&src, &mut paths)?;
         let mut files = Vec::new();
-        rust_files(&src, &mut files)?;
-        for file in files {
+        for file in paths {
             let raw = std::fs::read_to_string(&file)?;
-            let rel = file.strip_prefix(root).unwrap_or(&file);
-            findings.extend(scan_file(&crate_name, rel, &raw));
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            files.push(SourceFile { rel, raw });
         }
+        findings.extend(scan_crate(&crate_name, &files));
     }
     // Shared integration tests drive the simulated path; hold them to the
     // same clock/rng rules (they are not in a sim-path crate, so det-map and
     // narrowing-cast do not apply).
     let tests = root.join("tests");
     if tests.is_dir() {
+        let mut paths = Vec::new();
+        rust_files(&tests, &mut paths)?;
         let mut files = Vec::new();
-        rust_files(&tests, &mut files)?;
-        for file in files {
+        for file in paths {
             let raw = std::fs::read_to_string(&file)?;
-            let rel = file.strip_prefix(root).unwrap_or(&file);
-            findings.extend(scan_file("tests", rel, &raw));
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            files.push(SourceFile { rel, raw });
         }
+        findings.extend(scan_crate("tests", &files));
     }
     Ok(findings)
 }

@@ -1,0 +1,71 @@
+//! SARIF 2.1.0 emission for CI annotation surfaces.
+//!
+//! Hand-rolled JSON (the workspace builds offline; `moca-lint` stays
+//! dependency-free): the minimal schema GitHub code scanning and most
+//! SARIF viewers consume — `tool.driver.rules` from the rule catalog plus
+//! one `result` per finding with a physical location.
+
+use crate::{Finding, RULES};
+
+/// Escape a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a SARIF 2.1.0 log. Paths are workspace-relative URIs.
+pub fn to_sarif(findings: &[Finding], version: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"moca-lint\",\n");
+    s.push_str(&format!("          \"version\": \"{}\",\n", esc(version)));
+    s.push_str("          \"informationUri\": \"https://example.invalid/moca-lint\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, (name, desc)) in RULES.iter().enumerate() {
+        s.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            esc(name),
+            esc(desc),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let uri = f.path.to_string_lossy().replace('\\', "/");
+        s.push_str("        {\n");
+        s.push_str(&format!("          \"ruleId\": \"{}\",\n", esc(f.rule)));
+        s.push_str("          \"level\": \"error\",\n");
+        s.push_str(&format!(
+            "          \"message\": {{\"text\": \"{}\"}},\n",
+            esc(&f.message)
+        ));
+        s.push_str(&format!(
+            "          \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \"snippet\": {{\"text\": \"{}\"}}}}}}}}]\n",
+            esc(&uri),
+            f.line,
+            esc(&f.excerpt)
+        ));
+        s.push_str(&format!(
+            "        }}{}\n",
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}

@@ -1,0 +1,198 @@
+//! Determinism taint tracking (the `det-taint` rule).
+//!
+//! A *taint source* is an expression whose value depends on something
+//! outside the simulation's seeded, ordered world: iteration over a
+//! hash-ordered std collection, a host-clock read, ambient randomness, or
+//! a pointer-derived address (ASLR makes addresses run-dependent). A
+//! *sink* is a call that folds a value into sim-visible state: digests,
+//! telemetry counters/records, stall ledgers.
+//!
+//! The pass is function-granular and propagates within a crate: a function
+//! containing a source is tainted; a function calling a tainted function
+//! is tainted through the return value / arguments (over-approximation —
+//! precise dataflow is out of scope for a lint, and a pragma with a
+//! justification is the escape hatch). A `det-taint` finding is reported
+//! at every sink call site inside a tainted function, naming the source
+//! and the call chain it arrived through.
+
+use crate::functions::FnTable;
+use crate::lexer::{Token, TokenKind};
+
+/// Identifiers whose mere presence is an ambient-randomness source.
+const RNG_SOURCE_IDENTS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "RandomState",
+    "getrandom",
+    "fastrand",
+];
+
+/// Method names that iterate a collection in storage order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "retain",
+];
+
+/// One taint source occurrence.
+#[derive(Debug, Clone)]
+pub struct TaintSource {
+    /// Human-readable kind (`hash-ordered iteration`, …).
+    pub kind: &'static str,
+    /// 1-based line of the source token.
+    pub line: usize,
+}
+
+/// Why a function is tainted.
+#[derive(Debug, Clone)]
+pub struct Taint {
+    /// The originating source.
+    pub source: TaintSource,
+    /// Qualified name of the function physically containing the source.
+    pub origin: String,
+    /// Call chain from this function to the origin (empty when the source
+    /// is in this function's own body).
+    pub via: Vec<String>,
+}
+
+/// Scan one function body's token range for taint sources.
+pub fn body_sources(toks: &[Token], a: usize, b: usize) -> Vec<TaintSource> {
+    let mut out = Vec::new();
+    let has_hash_collection = toks[a..=b]
+        .iter()
+        .any(|t| t.is_ident("HashMap") || t.is_ident("HashSet"));
+    let mut k = a;
+    while k <= b {
+        let t = &toks[k];
+        if t.kind == TokenKind::Ident {
+            // Wall-clock reads: `Instant::now` / `SystemTime::now`.
+            if (t.text == "Instant" || t.text == "SystemTime")
+                && toks.get(k + 1).is_some_and(|x| x.is_punct(':'))
+                && toks.get(k + 2).is_some_and(|x| x.is_punct(':'))
+                && toks.get(k + 3).is_some_and(|x| x.is_ident("now"))
+            {
+                out.push(TaintSource {
+                    kind: "wall-clock read",
+                    line: t.line,
+                });
+                k += 4;
+                continue;
+            }
+            if RNG_SOURCE_IDENTS.contains(&t.text.as_str()) {
+                out.push(TaintSource {
+                    kind: "ambient randomness",
+                    line: t.line,
+                });
+                k += 1;
+                continue;
+            }
+            // Pointer-derived address: `as *const T` / `as *mut T`.
+            if t.text == "as"
+                && toks.get(k + 1).is_some_and(|x| x.is_punct('*'))
+                && toks
+                    .get(k + 2)
+                    .is_some_and(|x| x.is_ident("const") || x.is_ident("mut"))
+            {
+                out.push(TaintSource {
+                    kind: "pointer-derived address",
+                    line: t.line,
+                });
+                k += 3;
+                continue;
+            }
+        }
+        // Method-position sources: `.as_ptr()` and, when the body also
+        // names a hash collection, storage-order iteration.
+        if t.is_punct('.') {
+            if let Some(m) = toks.get(k + 1) {
+                if m.kind == TokenKind::Ident && toks.get(k + 2).is_some_and(|x| x.is_punct('(')) {
+                    if m.text == "as_ptr" {
+                        out.push(TaintSource {
+                            kind: "pointer-derived address",
+                            line: m.line,
+                        });
+                    } else if has_hash_collection && ITER_METHODS.contains(&m.text.as_str()) {
+                        out.push(TaintSource {
+                            kind: "hash-ordered iteration",
+                            line: m.line,
+                        });
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+/// True if a callee name writes into sim-visible state, a digest, or a
+/// telemetry counter — the sinks a tainted value must not reach.
+pub fn is_sink_name(name: &str) -> bool {
+    name.contains("digest")
+        || name.starts_with("fnv")
+        || name == "record"
+        || name.starts_with("record_")
+        || name == "observe"
+        || name.starts_with("observe_")
+        || name == "emit"
+        || name.starts_with("emit_")
+        || name == "counter"
+        || name == "inc"
+        || name.starts_with("inc_")
+        || name == "track"
+        || name.starts_with("add_track")
+        || name == "charge"
+        || name.starts_with("charge_")
+}
+
+/// Compute per-function taint for a crate: `sources[i]` are the sources
+/// physically inside function `i`; the result marks every function that
+/// contains or transitively calls a source, with the chain it arrived by.
+pub fn propagate(table: &FnTable, sources: &[Vec<TaintSource>]) -> Vec<Option<Taint>> {
+    let n = table.fns.len();
+    let mut taint: Vec<Option<Taint>> = vec![None; n];
+    // Reverse edges: for each function, who calls it.
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, f) in table.fns.iter().enumerate() {
+        for call in &f.calls {
+            for j in table.resolve(call) {
+                if j != i {
+                    callers[j].push(i);
+                }
+            }
+        }
+    }
+    let mut queue: Vec<usize> = Vec::new();
+    for (i, srcs) in sources.iter().enumerate() {
+        if let Some(s) = srcs.first() {
+            taint[i] = Some(Taint {
+                source: s.clone(),
+                origin: table.fns[i].qual.clone(),
+                via: Vec::new(),
+            });
+            queue.push(i);
+        }
+    }
+    while let Some(i) = queue.pop() {
+        let t = taint[i].clone().expect("queued fn is tainted");
+        for &c in &callers[i] {
+            if taint[c].is_some() {
+                continue;
+            }
+            let mut via = vec![table.fns[i].qual.clone()];
+            via.extend(t.via.clone());
+            taint[c] = Some(Taint {
+                source: t.source.clone(),
+                origin: t.origin.clone(),
+                via,
+            });
+            queue.push(c);
+        }
+    }
+    taint
+}

@@ -1,0 +1,34 @@
+//! Determinism taint: a hash-ordered sum flowing into a digest sink.
+use std::collections::HashMap;
+
+pub struct Ledger {
+    vals: HashMap<u64, u64>,
+    digest: u64,
+}
+
+impl Ledger {
+    fn sum_unordered(&self) -> u64 {
+        let m: &HashMap<u64, u64> = &self.vals;
+        let mut acc = 0;
+        for (_k, v) in m.iter() {
+            acc += *v;
+        }
+        acc
+    }
+
+    pub fn publish(&mut self) {
+        let s = self.sum_unordered();
+        self.record_digest(s);
+    }
+
+    pub fn profile_span(&mut self) {
+        // moca-lint: allow(wall-clock): host-side profiling, never read by the simulation
+        let t0 = std::time::Instant::now();
+        let _ = t0;
+        self.record_digest(0);
+    }
+
+    fn record_digest(&mut self, v: u64) {
+        self.digest ^= v;
+    }
+}

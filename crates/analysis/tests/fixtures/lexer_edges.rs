@@ -1,0 +1,30 @@
+//! Lexer edge cases the v1 line-oriented scanner handled wrong.
+pub struct Edges {
+    map: std::collections::HashMap<u64, u64>,
+}
+
+pub fn raw_strings() -> (&'static str, &'static str) {
+    let a = r#"// not a comment: HashMap<K, V> {"#;
+    let b = r"thread_rng } {";
+    (a, b)
+}
+
+pub fn nested_comments() -> u64 {
+    /* outer /* inner SystemTime */ still HashMap */
+    7
+}
+
+pub fn char_literals() -> usize {
+    let open = '{';
+    let close = '}';
+    let lt: &'static str = "x";
+    usize::from(open == close) + lt.len()
+}
+
+pub fn tick(xs: &[u64]) -> Vec<u64> {
+    xs.iter()
+        .map(|x| x + 1)
+        .collect::<
+            Vec<u64>,
+        >()
+}

@@ -1,0 +1,23 @@
+//! Abort paths on the per-cycle hot path, direct and via the call graph.
+pub struct Q {
+    items: Vec<u64>,
+}
+
+impl Q {
+    pub fn tick(&mut self, now: u64) {
+        let head = self.items.pop().unwrap();
+        self.drain_one(head, now);
+    }
+
+    fn drain_one(&mut self, head: u64, now: u64) {
+        if head > now {
+            panic!("future item");
+        }
+        // moca-lint: allow(panic-in-hot): ring invariant — slot is filled before drain
+        let _ = self.items.first().expect("filled");
+    }
+
+    fn report(&self) -> u64 {
+        self.items.last().copied().expect("cold path")
+    }
+}

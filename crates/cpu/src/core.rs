@@ -457,18 +457,19 @@ impl Core {
                 });
                 let rob_empty = self.rob.is_empty();
                 let rob_full = self.rob.len() >= self.cfg.rob_entries;
-                let attr = self.attr.as_deref_mut().expect("attribution enabled");
-                if head_miss {
-                    attr.buckets.load_miss += stalled;
-                    if let Some((ticket, tag)) = pending {
-                        attr.charge_load_miss(ticket, tag, stalled);
+                if let Some(attr) = self.attr.as_deref_mut() {
+                    if head_miss {
+                        attr.buckets.load_miss += stalled;
+                        if let Some((ticket, tag)) = pending {
+                            attr.charge_load_miss(ticket, tag, stalled);
+                        }
+                    } else if rob_empty {
+                        attr.buckets.frontend_empty += stalled;
+                    } else if rob_full {
+                        attr.buckets.rob_full += stalled;
+                    } else {
+                        attr.buckets.other += stalled;
                     }
-                } else if rob_empty {
-                    attr.buckets.frontend_empty += stalled;
-                } else if rob_full {
-                    attr.buckets.rob_full += stalled;
-                } else {
-                    attr.buckets.other += stalled;
                 }
             }
         }
@@ -476,20 +477,22 @@ impl Core {
         // ---- Commit stage ----
         let mut committed_this_cycle = 0;
         while committed_this_cycle < self.cfg.width {
-            match self.rob.front() {
-                Some(h) if h.done && h.ready_at <= now => {
-                    let h = self.rob.pop_front().expect("front exists");
-                    if h.is_load {
-                        self.lq_used -= 1;
-                    }
-                    self.stats.committed += 1;
-                    committed_this_cycle += 1;
-                }
-                _ => break,
+            if !self
+                .rob
+                .front()
+                .is_some_and(|h| h.done && h.ready_at <= now)
+            {
+                break;
             }
+            let Some(h) = self.rob.pop_front() else { break };
+            if h.is_load {
+                self.lq_used -= 1;
+            }
+            self.stats.committed += 1;
+            committed_this_cycle += 1;
         }
         // ROB-head stall accounting: blocked on an incomplete missing load.
-        let mut charged_load_miss = false;
+        let mut charged_head = None;
         if committed_this_cycle < self.cfg.width {
             if let Some(h) = self.rob.front() {
                 if h.is_load && h.llc_miss && !(h.done && h.ready_at <= now) {
@@ -497,20 +500,21 @@ impl Core {
                     if let Some(tag) = h.tag {
                         self.stats.tags.get_mut(tag).rob_head_stall_cycles += 1;
                     }
-                    charged_load_miss = true;
+                    charged_head = Some(*h);
                 }
             }
         }
-        if charged_load_miss && self.attr.is_some() {
-            let h = *self.rob.front().expect("head charged above");
+        let charged_load_miss = charged_head.is_some();
+        if let Some(h) = charged_head {
+            // ticket_of_seq consults the attribution state, so this is a
+            // no-op on unattributed runs.
             if let Some((ticket, tag)) = h
                 .tag
                 .and_then(|tag| self.ticket_of_seq(h.seq).map(|t| (t, tag)))
             {
-                self.attr
-                    .as_deref_mut()
-                    .expect("attribution enabled")
-                    .charge_load_miss(ticket, tag, 1);
+                if let Some(attr) = self.attr.as_deref_mut() {
+                    attr.charge_load_miss(ticket, tag, 1);
+                }
             }
         }
 
@@ -569,24 +573,25 @@ impl Core {
             let rob_empty = self.rob.is_empty();
             let rob_full = self.rob.len() >= self.cfg.rob_entries;
             let mshr_tag = head.and_then(|h| h.tag);
-            let attr = self.attr.as_deref_mut().expect("attribution enabled");
-            if charged_load_miss {
-                attr.buckets.load_miss += 1;
-            } else if mshr_retry && unissued_head {
-                attr.buckets.mshr_full += 1;
-                if let Some(tag) = mshr_tag {
-                    attr.tags.get_mut(tag).mshr_full_cycles += 1;
+            if let Some(attr) = self.attr.as_deref_mut() {
+                if charged_load_miss {
+                    attr.buckets.load_miss += 1;
+                } else if mshr_retry && unissued_head {
+                    attr.buckets.mshr_full += 1;
+                    if let Some(tag) = mshr_tag {
+                        attr.tags.get_mut(tag).mshr_full_cycles += 1;
+                    }
+                } else if committed_this_cycle > 0 {
+                    attr.buckets.committing += 1;
+                } else if rob_empty {
+                    attr.buckets.frontend_empty += 1;
+                } else if rob_full {
+                    attr.buckets.rob_full += 1;
+                } else {
+                    attr.buckets.other += 1;
                 }
-            } else if committed_this_cycle > 0 {
-                attr.buckets.committing += 1;
-            } else if rob_empty {
-                attr.buckets.frontend_empty += 1;
-            } else if rob_full {
-                attr.buckets.rob_full += 1;
-            } else {
-                attr.buckets.other += 1;
+                attr.end_tick();
             }
-            attr.end_tick();
         }
 
         // ---- Dispatch stage ----

@@ -64,6 +64,7 @@ impl TagTable {
     pub fn get_mut(&mut self, tag: MemTag) -> &mut TagStats {
         match tag.segment {
             Segment::Heap => {
+                // moca-lint: allow(panic-in-hot): MemTag::heap always pairs Heap with an object id (construction invariant)
                 let id = tag.object.expect("heap tag carries an object").0 as usize;
                 if id >= self.heap.len() {
                     self.heap.resize(id + 1, TagStats::default());

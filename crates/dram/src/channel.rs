@@ -458,10 +458,12 @@ impl Channel {
 
         if serve_writes {
             if let Some(idx) = self.select(now, false) {
+                // moca-lint: allow(panic-in-hot): idx was produced by select() over this queue this cycle
                 let q = self.writeq.remove(idx).expect("selected write exists");
                 self.issue(now, q, false, tel);
             }
         } else if let Some(idx) = self.select(now, true) {
+            // moca-lint: allow(panic-in-hot): idx was produced by select() over this queue this cycle
             let q = self.readq.remove(idx).expect("selected read exists");
             self.issue(now, q, true, tel);
         }

@@ -368,6 +368,7 @@ impl CoreHierarchy {
     /// the data moves, so cached copies are stale). Dirty lines are queued
     /// as writebacks. Returns the number of dirty lines found.
     pub fn invalidate_page(&mut self, pfn: u64) -> usize {
+        // moca-lint: allow(hot-alloc): migration-rate path — runs once per migrated page, not per cycle
         let mut dirty: Vec<Victim> = Vec::new();
         for cache in [&mut self.l2, &mut self.l1d, &mut self.l1i] {
             dirty.extend(cache.invalidate_matching(|l| l.pfn() == pfn));

@@ -128,11 +128,15 @@ fn class_index(intent: PageIntent) -> usize {
     }
 }
 
+/// Index of `kind` in [`ModuleKind::ALL`] (the match is exhaustive, so the
+/// mapping can never miss; a unit test pins it to the array order).
 fn kind_index(kind: ModuleKind) -> usize {
-    ModuleKind::ALL
-        .iter()
-        .position(|&k| k == kind)
-        .expect("kind in ALL")
+    match kind {
+        ModuleKind::Ddr3 => 0,
+        ModuleKind::Lpddr2 => 1,
+        ModuleKind::Rldram3 => 2,
+        ModuleKind::Hbm => 3,
+    }
 }
 
 impl PlacementReport {
@@ -309,5 +313,12 @@ mod tests {
             (15.0..=27.0).contains(&four),
             "4-core power {four:.1} W should be near the paper's 21 W"
         );
+    }
+
+    #[test]
+    fn kind_index_matches_all_order() {
+        for (i, &k) in ModuleKind::ALL.iter().enumerate() {
+            assert_eq!(kind_index(k), i, "{} out of order", k.name());
+        }
     }
 }

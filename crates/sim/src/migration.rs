@@ -123,6 +123,7 @@ impl Migrator {
         for v in self.resident_heat.values_mut() {
             *v /= 2;
         }
+        // moca-lint: allow(hot-alloc): epoch-rate path — runs once per migration epoch, not per cycle
         let mut candidates: Vec<(u64, u32)> = Vec::new();
         for (&pfn, &h) in &self.heat {
             match os.frames().kind_of(pfn) {

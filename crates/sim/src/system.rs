@@ -348,6 +348,7 @@ impl System {
         let start = self.win_start;
         let end = self.now;
         let dt = (end - start) as f64;
+        // moca-lint: allow(hot-alloc): window-rate sampling path — runs once per metrics window, not per cycle
         let mut samples = Vec::new();
         for (i, core) in self.cores.iter().enumerate() {
             // A frozen core's statistics are already snapshotted; it only
@@ -360,6 +361,7 @@ impl System {
             let dc = committed.saturating_sub(self.win_committed[i]);
             self.win_committed[i] = committed;
             samples.push((
+                // moca-lint: allow(hot-alloc): window-rate sampling path — runs once per metrics window, not per cycle
                 format!("ipc.core{i}"),
                 if dt > 0.0 { dc as f64 / dt } else { 0.0 },
             ));
@@ -371,15 +373,19 @@ impl System {
             } else {
                 0.0
             };
+            // moca-lint: allow(hot-alloc): window-rate sampling path — runs once per metrics window, not per cycle
             samples.push((format!("l2_mpki.core{i}"), mpki));
         }
         for (ci, ch) in self.channels.iter().enumerate() {
+            // moca-lint: allow(hot-alloc): window-rate sampling path — runs once per metrics window, not per cycle
             samples.push((format!("readq.ch{ci}"), ch.read_queue_len() as f64));
+            // moca-lint: allow(hot-alloc): window-rate sampling path — runs once per metrics window, not per cycle
             samples.push((format!("writeq.ch{ci}"), ch.write_queue_len() as f64));
             let busy = ch.stats().busy_cycles;
             let db = busy.saturating_sub(self.win_busy[ci]);
             self.win_busy[ci] = busy;
             samples.push((
+                // moca-lint: allow(hot-alloc): window-rate sampling path — runs once per metrics window, not per cycle
                 format!("bus_util.ch{ci}"),
                 if dt > 0.0 { db as f64 / dt } else { 0.0 },
             ));
@@ -389,12 +395,14 @@ impl System {
                 let prev = self.win_bank_act[ci].get(b).copied().unwrap_or(0);
                 self.win_bank_act[ci][b] = acts;
                 samples.push((
+                    // moca-lint: allow(hot-alloc): window-rate sampling path — runs once per metrics window, not per cycle
                     format!("bank_act.ch{ci}.b{b}"),
                     acts.saturating_sub(prev) as f64,
                 ));
             }
         }
         for (kind, free) in self.os.frames().headroom() {
+            // moca-lint: allow(hot-alloc): window-rate sampling path — runs once per metrics window, not per cycle
             samples.push((format!("free_frames.{}", kind.name()), free as f64));
         }
         self.tel.push_window(WindowSnapshot {
@@ -434,6 +442,7 @@ impl System {
             .frames()
             .headroom()
             .into_iter()
+            // moca-lint: allow(hot-alloc): window-rate sampling path — runs once per metrics window, not per cycle
             .map(|(kind, free)| (kind.name().to_string(), free))
             .collect();
         self.occupancy.push(OccupancySample {
@@ -534,11 +543,12 @@ impl System {
             self.tel.components.dram += t.elapsed();
         }
 
-        // Page-migration epoch boundary.
-        if self.migrator.as_ref().is_some_and(|m| m.epoch_due(now)) {
+        // Page-migration epoch boundary. The migrator moves out of `self`
+        // for the epoch so it can borrow the rest of the system mutably;
+        // it is put back below.
+        if let Some(mut m) = self.migrator.take_if(|m| m.epoch_due(now)) {
             // moca-lint: allow(wall-clock): host self-profiling span, never read by the simulation
             let t0 = profile.then(std::time::Instant::now);
-            let mut m = self.migrator.take().expect("checked above");
             m.run_epoch(
                 now,
                 &mut self.os,
