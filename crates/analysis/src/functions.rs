@@ -73,14 +73,20 @@ pub struct FnTable {
 }
 
 /// True if `name`/`qual` names a per-cycle root whose *transitive callees*
-/// are hot: `tick*`, `step`, `on_completion*`, and `Channel::issue`
-/// (FR-FCFS command issue runs once per scheduled DRAM command).
+/// are hot: `tick*`, `step`, `on_completion*`, `Channel::issue` (FR-FCFS
+/// command issue runs once per scheduled DRAM command), and the event
+/// wheel's entry points (`EventWheel::post` / `cancel` /
+/// `next_event_after` — every sleep, reschedule, and skip query goes
+/// through them, so their helpers are as hot as any tick body).
 pub fn is_cycle_root(name: &str, qual: &str) -> bool {
     name.starts_with("tick")
         || name == "step"
         || name.starts_with("on_completion")
         || name == "issue"
         || qual == "Channel::issue"
+        || qual == "EventWheel::post"
+        || qual == "EventWheel::cancel"
+        || qual == "EventWheel::next_event_after"
 }
 
 /// True if `name` marks a *driver* root: hot in its own body (it contains

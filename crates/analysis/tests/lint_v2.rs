@@ -78,6 +78,22 @@ fn hot_propagation_crosses_files_within_a_crate() {
 }
 
 #[test]
+fn wheel_entry_points_are_cycle_roots() {
+    // No `tick`/`step` name anywhere in the fixture: hotness enters purely
+    // through the `EventWheel::post` / `next_event_after` roots.
+    let f = scan_fixture("sim", "wheel_hot.rs");
+    assert_eq!(lines_of(&f, "panic-in-hot"), vec![14]);
+    assert_eq!(lines_of(&f, "hot-alloc"), vec![20]);
+    assert_eq!(f.len(), 2, "rebuild must stay unflagged: {f:#?}");
+    let alloc = f.iter().find(|x| x.rule == "hot-alloc").unwrap();
+    assert!(
+        alloc.message.contains("EventWheel::post") && alloc.message.contains("EventWheel::stash"),
+        "chain missing from message: {}",
+        alloc.message
+    );
+}
+
+#[test]
 fn fn_table_qualifies_impl_methods() {
     let toks = lex("impl Channel {\n    fn issue(&mut self) {}\n    fn new() -> Channel { Channel }\n}\nfn free() {}\n");
     let table = FnTable::build(&[toks]);

@@ -1,15 +1,17 @@
 //! `moca-bench`: simulator benchmarking entry point.
 //!
 //! ```text
-//! moca-bench perf [--quick] [--out FILE] [--compare FILE]
+//! moca-bench perf [--quick] [--step-threads N] [--out FILE] [--compare FILE]
 //! moca-bench diff BASELINE FRESH [--tolerance PCT]
 //! ```
 //!
 //! `perf` runs the fixed cycle-engine basket (see `moca_bench::perf`) and
-//! writes `BENCH_cycle_engine.json`. With `--compare FILE` it also diffs
-//! against a committed baseline, prints the per-component delta table, and
-//! warns — without failing — when a memory-bound entry's cycles/host-second
-//! regressed by more than 20%.
+//! writes `BENCH_cycle_engine.json`. `--step-threads N` runs the basket
+//! with intra-run parallel core stepping (`MOCA_STEP_THREADS`; results are
+//! byte-identical, only the wall clock moves). With `--compare FILE` it
+//! also diffs against a committed baseline, prints the per-component delta
+//! table, and exits 1 when a gated entry (memory-bound or `mix-heter*`)
+//! lost more than 20% cycles/host-second.
 //!
 //! `diff` compares two committed reports (perf or `repro explain` JSON) and
 //! *does* gate: exit 0 when clean, 1 on a regression beyond the tolerance
@@ -21,7 +23,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: moca-bench perf [--quick] [--out FILE] [--compare FILE]\n\
+        "usage: moca-bench perf [--quick] [--step-threads N] [--out FILE] [--compare FILE]\n\
          \x20      moca-bench diff BASELINE FRESH [--tolerance PCT]"
     );
     std::process::exit(2);
@@ -88,6 +90,20 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--step-threads" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                match v.parse::<usize>() {
+                    // System::new resolves MOCA_STEP_THREADS, so the flag
+                    // reaches every basket entry.
+                    Ok(n) if n > 0 => std::env::set_var("MOCA_STEP_THREADS", n.to_string()),
+                    _ => {
+                        eprintln!(
+                            "moca-bench perf: --step-threads wants a positive thread count, got {v:?}"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--out" => out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
             "--compare" => compare = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             _ => usage(),
@@ -107,19 +123,19 @@ fn main() {
             Ok(base) => {
                 let regressed = perf::compare(&base, &report, 0.20);
                 for name in &regressed {
-                    // GitHub Actions picks `::warning::` up as an annotation;
-                    // everywhere else it is just a loud line. Warn, don't fail:
-                    // shared CI runners make wall-clock numbers noisy.
+                    // GitHub Actions picks `::error::` up as an annotation;
+                    // everywhere else it is just a loud line. The 20% margin
+                    // absorbs shared-runner noise; real engine regressions
+                    // blow straight past it, so this gate *fails*.
                     println!(
-                        "::warning::moca-bench perf: {name} regressed >20% cycles/host-second vs {}",
+                        "::error::moca-bench perf: {name} regressed >20% cycles/host-second vs {}",
                         base_path.display()
                     );
                 }
                 if regressed.is_empty() {
-                    println!(
-                        "perf: no memory-bound regression vs {}",
-                        base_path.display()
-                    );
+                    println!("perf: no gated regression vs {}", base_path.display());
+                } else {
+                    std::process::exit(1);
                 }
             }
             Err(e) => eprintln!(

@@ -1,8 +1,8 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--quiet] [--jobs N] [--out DIR] [--trace FILE] [--metrics-window N] <target>...
-//! repro explain [APP] [MEM] [--quick] [--quiet] [--jobs N] [--out DIR] [--top N]
+//! repro [--quick] [--quiet] [--jobs N] [--step-threads N] [--out DIR] [--trace FILE] [--metrics-window N] <target>...
+//! repro explain [APP] [MEM] [--quick] [--quiet] [--jobs N] [--step-threads N] [--out DIR] [--top N]
 //!
 //! targets: table1 table2 table3 fig1 fig2 fig5 fig8 fig9 fig10 fig11
 //!          fig12 fig13 fig14 fig15 fig16 thresholds migration ablations all
@@ -21,7 +21,9 @@
 //!
 //! `--jobs N` caps the host worker threads used to fan simulations out
 //! (also settable via the `MOCA_JOBS` environment variable; the flag wins).
-//! Results are bit-identical regardless of the worker count.
+//! `--step-threads N` additionally parallelizes core stepping *inside*
+//! each simulation (`MOCA_STEP_THREADS`; default sequential). Results are
+//! bit-identical regardless of either count.
 //!
 //! Results are printed as aligned tables and saved as JSON under `--out`
 //! (default `results/`). Progress lines go to stderr and to
@@ -43,8 +45,8 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--quiet] [--jobs N] [--out DIR] [--trace FILE] [--metrics-window N] <target>...\n\
-         \x20      repro explain [APP] [MEM] [--quick] [--quiet] [--jobs N] [--out DIR] [--top N]\n\
+        "usage: repro [--quick] [--quiet] [--jobs N] [--step-threads N] [--out DIR] [--trace FILE] [--metrics-window N] <target>...\n\
+         \x20      repro explain [APP] [MEM] [--quick] [--quiet] [--jobs N] [--step-threads N] [--out DIR] [--top N]\n\
          targets: table1 table2 table3 fig1 fig2 fig5 fig8 fig9 fig10 fig11 \
          fig12 fig13 fig14 fig15 fig16 thresholds migration ablations all\n\
          mems:    ddr3 lp rl hbm heter1 heter2 heter3"
@@ -64,6 +66,19 @@ fn set_jobs(n: &str) {
     }
 }
 
+fn set_step_threads(n: &str) {
+    match n.parse::<usize>() {
+        // `System::new` resolves MOCA_STEP_THREADS, so exporting it here
+        // reaches every simulation the targets construct. Results are
+        // byte-identical for any value (see DESIGN.md §9).
+        Ok(v) if v > 0 => std::env::set_var("MOCA_STEP_THREADS", v.to_string()),
+        _ => {
+            eprintln!("repro: --step-threads wants a positive thread count, got {n:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// `repro explain`: one attribution-instrumented run, rendered + JSON.
 fn explain_main(args: &[String]) -> ! {
     let mut spec = moca_bench::explain::ExplainSpec::default();
@@ -76,6 +91,7 @@ fn explain_main(args: &[String]) -> ! {
             "--quick" => spec.quick = true,
             "--quiet" => quiet = true,
             "--jobs" => set_jobs(&it.next().cloned().unwrap_or_else(|| usage())),
+            "--step-threads" => set_step_threads(&it.next().cloned().unwrap_or_else(|| usage())),
             "--out" => out_dir = PathBuf::from(it.next().cloned().unwrap_or_else(|| usage())),
             "--top" => {
                 let n = it.next().cloned().unwrap_or_else(|| usage());
@@ -149,6 +165,7 @@ fn main() {
             "--quick" => scale = Scale::Quick,
             "--quiet" => quiet = true,
             "--jobs" => set_jobs(&args.next().unwrap_or_else(|| usage())),
+            "--step-threads" => set_step_threads(&args.next().unwrap_or_else(|| usage())),
             "--out" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--metrics-window" => {

@@ -72,6 +72,19 @@ fn basket() -> Vec<BasketSpec> {
             apps: &["mcf", "lbm", "gcc", "sift"],
             mem: || MemSystemConfig::Heterogeneous(HeterogeneousLayout::config1()),
         },
+        BasketSpec {
+            name: "mix-heter-16",
+            bound: "mixed",
+            memory_bound: false,
+            // A dense-colocation tenant mix: two big latency-bound apps plus
+            // a rotation of the small-footprint suite, sized so the combined
+            // nominal footprint (~1.8 GB) fits the 2 GB machine.
+            apps: &[
+                "mcf", "mser", "gcc", "sift", "stitch", "gcc", "sift", "stitch", "gcc", "sift",
+                "stitch", "gcc", "sift", "stitch", "gcc", "sift",
+            ],
+            mem: || MemSystemConfig::Heterogeneous(HeterogeneousLayout::config1()),
+        },
     ]
 }
 
@@ -125,12 +138,7 @@ pub struct PerfReport {
 
 fn build_system(spec: &BasketSpec, tel: Telemetry) -> System {
     let mem = (spec.mem)();
-    let cfg = if spec.apps.len() == 1 {
-        SystemConfig::single_core(mem)
-    } else {
-        assert_eq!(spec.apps.len(), 4, "basket mixes are 1- or 4-core");
-        SystemConfig::quad_core(mem)
-    };
+    let cfg = SystemConfig::multi_core(spec.apps.len(), mem);
     let launches = spec
         .apps
         .iter()
@@ -285,10 +293,18 @@ pub fn load(path: &Path) -> std::io::Result<PerfReport> {
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
+/// True if `e` participates in the regression gate: the memory-bound
+/// entries (event-skip path) plus the `mix-heter*` machines (the
+/// multi-program step loop the wheel + SoA + parallel work targets).
+fn gated(e: &PerfEntry) -> bool {
+    e.memory_bound || e.name.starts_with("mix-heter")
+}
+
 /// Compare `fresh` against a committed `baseline`: print the per-entry and
-/// per-component delta table and return the names of memory-bound entries
-/// whose cycles/host-second regressed by more than `threshold` (0.20 =
-/// 20%). The caller decides whether that's a warning or an error.
+/// per-component delta table and return the names of gated entries
+/// (memory-bound or `mix-heter*`) whose cycles/host-second regressed by
+/// more than `threshold` (0.20 = 20%). The caller decides whether that's a
+/// warning or an error.
 pub fn compare(baseline: &PerfReport, fresh: &PerfReport, threshold: f64) -> Vec<String> {
     let mut regressed = Vec::new();
     println!(
@@ -320,7 +336,7 @@ pub fn compare(baseline: &PerfReport, fresh: &PerfReport, threshold: f64) -> Vec
             e.components.cache * 100.0,
             e.components.vm * 100.0,
         );
-        if e.memory_bound && ratio < 1.0 - threshold {
+        if gated(e) && ratio < 1.0 - threshold {
             regressed.push(e.name.clone());
         }
     }
@@ -334,11 +350,13 @@ mod tests {
     #[test]
     fn basket_shape_is_fixed() {
         let b = basket();
-        assert_eq!(b.len(), 3);
+        assert_eq!(b.len(), 4);
         assert!(b[0].memory_bound && b[1].memory_bound && !b[2].memory_bound);
         assert_eq!(b[0].bound, "latency");
         assert_eq!(b[1].bound, "bandwidth");
         assert_eq!(b[2].apps.len(), 4);
+        assert_eq!(b[3].apps.len(), 16);
+        assert!(!b[3].memory_bound);
     }
 
     #[test]
@@ -380,6 +398,33 @@ mod tests {
         let err = save(&r, &path).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         assert!(!path.exists(), "empty report must not be written");
+    }
+
+    #[test]
+    fn compare_gates_mix_heter_entries_too() {
+        let mk = |name: &str, cps: f64| PerfEntry {
+            name: name.into(),
+            bound: "mixed".into(),
+            memory_bound: false,
+            instr_target: 1,
+            sim_cycles: 1,
+            wall_seconds: 1.0,
+            cycles_per_host_second: cps,
+            peak_rss_kb: 0,
+            components: ComponentShares::default(),
+        };
+        let base = PerfReport {
+            schema: PERF_SCHEMA.into(),
+            scale: "quick".into(),
+            entries: vec![mk("mix-heter", 100.0), mk("mix-heter-16", 100.0)],
+        };
+        // mix-heter* is gated despite memory_bound = false.
+        let fresh = PerfReport {
+            schema: PERF_SCHEMA.into(),
+            scale: "quick".into(),
+            entries: vec![mk("mix-heter", 95.0), mk("mix-heter-16", 60.0)],
+        };
+        assert_eq!(compare(&base, &fresh, 0.20), vec!["mix-heter-16".to_string()]);
     }
 
     #[test]

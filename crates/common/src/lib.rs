@@ -18,6 +18,7 @@ pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod units;
+pub mod wheel;
 
 pub use addr::{LineAddr, PhysAddr, VirtAddr, CACHE_LINE_SIZE, PAGE_SIZE};
 pub use det::{DetMap, DetSet};

@@ -99,6 +99,14 @@ impl DetRng {
     /// all be zero.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
+        self.weighted_index_with_total(weights, total)
+    }
+
+    /// [`weighted_index`](Self::weighted_index) with the sum of `weights`
+    /// precomputed by the caller. `total` must equal `weights.iter().sum()`
+    /// bit-exactly — hot callers with fixed weight tables compute it once
+    /// instead of re-summing per draw.
+    pub fn weighted_index_with_total(&mut self, weights: &[f64], total: f64) -> usize {
         debug_assert!(total > 0.0, "weights sum to zero");
         let mut x = self.unit() * total;
         for (i, w) in weights.iter().enumerate() {

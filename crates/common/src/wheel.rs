@@ -1,0 +1,462 @@
+//! Global hierarchical event wheel.
+//!
+//! Every component of the simulated machine (core pipelines, DRAM channels)
+//! posts the cycle of its next self-scheduled event into one shared wheel
+//! keyed by `(cycle, stable component id)`. The event-skip path in
+//! `System::step` then answers "when is the next event after `now`?" with a
+//! single wheel query instead of an O(cores + channels) scan.
+//!
+//! ## Structure
+//!
+//! The wheel is a ring of [`WHEEL_BUCKETS`] single-cycle buckets covering
+//! the window `[base, base + WHEEL_BUCKETS)`, plus an overflow list for
+//! events beyond the window. A two-level occupancy bitmap (one bit per
+//! bucket, summarized in `u64` words) makes "first possibly-non-empty
+//! bucket after `now`" a handful of word scans with `trailing_zeros` —
+//! the *hierarchical* part.
+//!
+//! ## Lazy invalidation
+//!
+//! `post` never removes a component's previous entry; instead the dense
+//! `next[comp]` array is authoritative and a bucket entry `(cycle, comp)`
+//! is live only while `next[comp] == cycle`. Stale entries are dropped when
+//! their bucket is scanned or when `base` advances past them. Re-posting an
+//! unchanged event is a single compare (no duplicate entries), so callers
+//! may post unconditionally after touching a component.
+//!
+//! ## Determinism
+//!
+//! The wheel answers queries purely from `next[]` minima; which bucket slot
+//! an id occupies or how stale entries interleave never changes any answer,
+//! so the wheel is safe on the simulated path (same contract as the MSHR
+//! file's linear scan).
+
+use crate::Cycle;
+
+/// Ring size in cycles. DRAM service latencies on every modeled device are
+/// well under this, so in steady state events land in the ring and the
+/// overflow list only sees distant timers (e.g. refresh windows opening
+/// thousands of cycles out).
+pub const WHEEL_BUCKETS: usize = 512;
+
+const WORDS: usize = WHEEL_BUCKETS / 64;
+
+/// See the module docs.
+#[derive(Debug, Clone)]
+pub struct EventWheel {
+    /// Authoritative next-event cycle per component (`Cycle::MAX` = none).
+    next: Vec<Cycle>,
+    /// First cycle covered by the ring. Bucket for cycle `c` is
+    /// `c % WHEEL_BUCKETS`; the entry is addressable while
+    /// `base <= c < base + WHEEL_BUCKETS`.
+    base: Cycle,
+    /// Ring buckets: component ids whose `next` pointed at this cycle when
+    /// posted (may contain stale ids — see module docs).
+    buckets: Vec<Vec<u32>>,
+    /// One bit per possibly-non-empty bucket.
+    occupied: [u64; WORDS],
+    /// Components posted beyond the ring window (may contain stale ids;
+    /// compacted on migration/scan).
+    overflow: Vec<u32>,
+    /// Conservative lower bound on the earliest live overflow event; when
+    /// the ring window grows past it, overflow is migrated into buckets so
+    /// the ring scan alone always sees the true minimum. Far timers sit
+    /// `WHEEL_BUCKETS`+ cycles out, so migration passes are amortized O(1).
+    overflow_min: Cycle,
+}
+
+impl EventWheel {
+    /// A wheel for `components` ids, starting with no events posted.
+    pub fn new(components: usize) -> EventWheel {
+        EventWheel {
+            next: vec![Cycle::MAX; components],
+            base: 0,
+            buckets: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+            overflow: Vec::new(),
+            overflow_min: Cycle::MAX,
+        }
+    }
+
+    /// Number of component ids the wheel tracks.
+    pub fn components(&self) -> usize {
+        self.next.len()
+    }
+
+    /// The authoritative next-event cycle for `comp` (`Cycle::MAX` = none).
+    pub fn posted(&self, comp: usize) -> Cycle {
+        self.next[comp]
+    }
+
+    /// Post component `comp`'s next event at `cycle` (`Cycle::MAX` cancels).
+    /// Replaces any previous posting; re-posting the same cycle is a no-op
+    /// compare, so callers can post unconditionally.
+    pub fn post(&mut self, comp: usize, cycle: Cycle) {
+        if self.next[comp] == cycle {
+            return;
+        }
+        self.next[comp] = cycle;
+        if cycle == Cycle::MAX {
+            return; // previous entry goes stale; dropped lazily
+        }
+        if cycle < self.base {
+            // A component may post an event at or before the query cursor
+            // (e.g. "runnable now"); keep it addressable by clamping into
+            // the ring rather than losing it behind the base.
+            let b = (self.base % WHEEL_BUCKETS as Cycle) as usize;
+            self.buckets[b].push(comp as u32);
+            self.occupied[b / 64] |= 1 << (b % 64);
+        } else if cycle < self.base + WHEEL_BUCKETS as Cycle {
+            let b = (cycle % WHEEL_BUCKETS as Cycle) as usize;
+            self.buckets[b].push(comp as u32);
+            self.occupied[b / 64] |= 1 << (b % 64);
+        } else {
+            // One overflow slot per component keeps the list bounded by the
+            // component count no matter how often far timers are re-posted.
+            if !self.overflow.contains(&(comp as u32)) {
+                self.overflow.push(comp as u32);
+            }
+            self.overflow_min = self.overflow_min.min(cycle);
+        }
+    }
+
+    /// Cancel any pending event for `comp`.
+    pub fn cancel(&mut self, comp: usize) {
+        self.post(comp, Cycle::MAX);
+    }
+
+    /// Pop the earliest posted event strictly after `now`, returning
+    /// `(cycle, component)` of the winner without unposting it (the
+    /// component re-posts when it reschedules). Ties prefer the smallest
+    /// component id, making the answer independent of posting order.
+    /// Advances the ring base to `now + 1`, releasing passed buckets.
+    pub fn next_event_after(&mut self, now: Cycle) -> Option<(Cycle, usize)> {
+        self.advance_to(now.saturating_add(1));
+        // Ring scan: hop occupancy words, then the first live bucket wins
+        // (buckets are single-cycle, so the first non-stale entry bucket is
+        // the minimum cycle; within it the smallest id wins).
+        let end = self.base + WHEEL_BUCKETS as Cycle;
+        let mut c = self.base;
+        while c < end {
+            let b = (c % WHEEL_BUCKETS as Cycle) as usize;
+            let word = b / 64;
+            let bits = self.occupied[word] >> (b % 64);
+            if bits == 0 {
+                // Skip to the next occupancy word boundary (ring-safe: the
+                // loop re-derives the bucket index from the cycle).
+                let to_word_end = 64 - (b % 64) as Cycle;
+                c += to_word_end;
+                continue;
+            }
+            c += bits.trailing_zeros() as Cycle;
+            if c >= end {
+                break;
+            }
+            let b = (c % WHEEL_BUCKETS as Cycle) as usize;
+            if let Some(comp) = self.scan_bucket(b, c) {
+                return Some((c, comp));
+            }
+            c += 1;
+        }
+        // Nothing live in the ring: the answer, if any, is in overflow.
+        self.scan_overflow(now)
+    }
+
+    /// Scan bucket `b` expecting cycle `c`: drop stale ids, return the
+    /// smallest live id. Clears the occupancy bit when the bucket empties.
+    fn scan_bucket(&mut self, b: usize, c: Cycle) -> Option<usize> {
+        let mut best: Option<u32> = None;
+        let bucket = &mut self.buckets[b];
+        let mut w = 0;
+        for r in 0..bucket.len() {
+            let comp = bucket[r];
+            if self.next[comp as usize] == c {
+                best = Some(match best {
+                    Some(prev) => prev.min(comp),
+                    None => comp,
+                });
+                bucket[w] = comp;
+                w += 1;
+            }
+        }
+        bucket.truncate(w);
+        if bucket.is_empty() {
+            self.occupied[b / 64] &= !(1 << (b % 64));
+        }
+        best.map(|comp| comp as usize)
+    }
+
+    /// Minimum live event in the overflow list after `now` (all ≥ the ring
+    /// end once [`EventWheel::migrate_overflow`] has run); compacts stale
+    /// ids and refreshes the `overflow_min` bound.
+    fn scan_overflow(&mut self, now: Cycle) -> Option<(Cycle, usize)> {
+        let mut best: Option<(Cycle, usize)> = None;
+        let mut min = Cycle::MAX;
+        let mut w = 0;
+        for r in 0..self.overflow.len() {
+            let comp = self.overflow[r] as usize;
+            let cyc = self.next[comp];
+            if cyc == Cycle::MAX || cyc <= now {
+                continue; // cancelled, re-posted into the ring, or passed
+            }
+            self.overflow[w] = comp as u32;
+            w += 1;
+            min = min.min(cyc);
+            best = match best {
+                Some(prev) if prev <= (cyc, comp) => best,
+                _ => Some((cyc, comp)),
+            };
+        }
+        self.overflow.truncate(w);
+        self.overflow_min = min;
+        best
+    }
+
+    /// Advance the ring base to `target`, compacting passed buckets. Large
+    /// jumps (event skip) sweep the whole ring in one pass. Afterwards, any
+    /// overflow event the grown window now covers is migrated into its
+    /// bucket, so the ring scan alone always sees the true minimum.
+    fn advance_to(&mut self, target: Cycle) {
+        if target <= self.base {
+            return;
+        }
+        let jump = target - self.base;
+        if jump >= WHEEL_BUCKETS as Cycle {
+            self.occupied = [0; WORDS];
+            for b in 0..WHEEL_BUCKETS {
+                if !self.buckets[b].is_empty() && self.requeue_live(b, target) {
+                    self.occupied[b / 64] |= 1 << (b % 64);
+                }
+            }
+            self.base = target;
+        } else {
+            while self.base < target {
+                let b = (self.base % WHEEL_BUCKETS as Cycle) as usize;
+                if !self.buckets[b].is_empty() {
+                    if self.requeue_live(b, target) {
+                        self.occupied[b / 64] |= 1 << (b % 64);
+                    } else {
+                        self.occupied[b / 64] &= !(1 << (b % 64));
+                    }
+                }
+                self.base += 1;
+            }
+        }
+        if self.overflow_min < self.base + WHEEL_BUCKETS as Cycle {
+            self.migrate_overflow();
+        }
+    }
+
+    /// Move overflow events the current window covers into their buckets;
+    /// drop stale entries; recompute the `overflow_min` bound. Amortized
+    /// O(1): far timers sit `WHEEL_BUCKETS`+ cycles out, so each entry is
+    /// visited at most once per ring revolution.
+    fn migrate_overflow(&mut self) {
+        let end = self.base + WHEEL_BUCKETS as Cycle;
+        let mut min = Cycle::MAX;
+        let mut w = 0;
+        for r in 0..self.overflow.len() {
+            let comp = self.overflow[r];
+            let cyc = self.next[comp as usize];
+            if cyc == Cycle::MAX || cyc < self.base {
+                continue; // cancelled, re-posted, or passed
+            }
+            if cyc < end {
+                let b = (cyc % WHEEL_BUCKETS as Cycle) as usize;
+                if !self.buckets[b].contains(&comp) {
+                    self.buckets[b].push(comp);
+                    self.occupied[b / 64] |= 1 << (b % 64);
+                }
+                continue;
+            }
+            self.overflow[w] = comp;
+            w += 1;
+            min = min.min(cyc);
+        }
+        self.overflow.truncate(w);
+        self.overflow_min = min;
+    }
+
+    /// Compact a bucket the base is passing. Entries whose event moved to a
+    /// later revolution of the same slot (a component re-posted exactly
+    /// `WHEEL_BUCKETS` cycles later) are already in the right place for the
+    /// new window and stay; anything else live goes to overflow; stale and
+    /// passed entries are dropped. Returns whether the bucket kept entries.
+    fn requeue_live(&mut self, b: usize, target: Cycle) -> bool {
+        let end = target + WHEEL_BUCKETS as Cycle;
+        let mut w = 0;
+        for r in 0..self.buckets[b].len() {
+            let comp = self.buckets[b][r];
+            let cyc = self.next[comp as usize];
+            if cyc == Cycle::MAX || cyc < target {
+                continue; // cancelled, moved, or in the past
+            }
+            if cyc < end && (cyc % WHEEL_BUCKETS as Cycle) as usize == b {
+                self.buckets[b][w] = comp;
+                w += 1;
+            } else {
+                if !self.overflow.contains(&comp) {
+                    self.overflow.push(comp);
+                }
+                self.overflow_min = self.overflow_min.min(cyc);
+            }
+        }
+        self.buckets[b].truncate(w);
+        w > 0
+    }
+
+    /// The old linear scan, kept as the differential oracle: minimum of
+    /// `next[comp] > now` with smallest-id tie-break. Debug builds assert
+    /// [`EventWheel::next_event_after`] agrees with this on every query.
+    pub fn scan_min_after(&self, now: Cycle) -> Option<(Cycle, usize)> {
+        let mut best: Option<(Cycle, usize)> = None;
+        for (comp, &cyc) in self.next.iter().enumerate() {
+            if cyc != Cycle::MAX && cyc > now {
+                best = match best {
+                    Some(prev) if prev <= (cyc, comp) => best,
+                    _ => Some((cyc, comp)),
+                };
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checked_next(w: &mut EventWheel, now: Cycle) -> Option<(Cycle, usize)> {
+        let got = w.next_event_after(now);
+        assert_eq!(got, w.scan_min_after(now), "wheel vs oracle at now={now}");
+        got
+    }
+
+    #[test]
+    fn empty_wheel_has_no_events() {
+        let mut w = EventWheel::new(8);
+        assert_eq!(checked_next(&mut w, 0), None);
+        assert_eq!(checked_next(&mut w, 1_000_000), None);
+    }
+
+    #[test]
+    fn post_and_query_in_ring() {
+        let mut w = EventWheel::new(4);
+        w.post(2, 10);
+        w.post(1, 7);
+        w.post(3, 10);
+        assert_eq!(checked_next(&mut w, 0), Some((7, 1)));
+        assert_eq!(checked_next(&mut w, 7), Some((10, 2)));
+        assert_eq!(checked_next(&mut w, 10), None);
+    }
+
+    #[test]
+    fn repost_moves_event_without_duplicates() {
+        let mut w = EventWheel::new(2);
+        w.post(0, 5);
+        w.post(0, 9); // entry at 5 goes stale
+        assert_eq!(checked_next(&mut w, 0), Some((9, 0)));
+        w.post(0, 3); // earlier than before
+        assert_eq!(checked_next(&mut w, 0), Some((3, 0)));
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut w = EventWheel::new(2);
+        w.post(0, 5);
+        w.post(1, 6);
+        w.cancel(0);
+        assert_eq!(checked_next(&mut w, 0), Some((6, 1)));
+        w.cancel(1);
+        assert_eq!(checked_next(&mut w, 0), None);
+    }
+
+    #[test]
+    fn overflow_events_are_found_and_migrate_into_ring() {
+        let mut w = EventWheel::new(3);
+        let far = 10 * WHEEL_BUCKETS as Cycle + 17;
+        w.post(0, far);
+        w.post(1, 3);
+        assert_eq!(checked_next(&mut w, 0), Some((3, 1)));
+        // Past the near event: only the overflow event remains.
+        assert_eq!(checked_next(&mut w, 3), Some((far, 0)));
+        // Jump close to it (big skip): it must now be served from the ring.
+        assert_eq!(checked_next(&mut w, far - 2), Some((far, 0)));
+        assert_eq!(checked_next(&mut w, far), None);
+    }
+
+    #[test]
+    fn event_at_or_before_now_is_not_returned() {
+        let mut w = EventWheel::new(2);
+        w.post(0, 5);
+        assert_eq!(checked_next(&mut w, 5), None);
+        assert_eq!(checked_next(&mut w, 6), None);
+        // Posting "behind" the advanced cursor still keeps the id live for
+        // earlier queries from a fresh component.
+        w.post(1, 100);
+        assert_eq!(checked_next(&mut w, 6), Some((100, 1)));
+    }
+
+    #[test]
+    fn ties_prefer_smallest_component_id() {
+        let mut w = EventWheel::new(5);
+        w.post(4, 20);
+        w.post(2, 20);
+        w.post(3, 20);
+        assert_eq!(checked_next(&mut w, 0), Some((20, 2)));
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_answers_exact() {
+        let mut w = EventWheel::new(2);
+        let mut now = 0;
+        for round in 0..10 {
+            let e = now + (WHEEL_BUCKETS as Cycle / 2) + round;
+            w.post(0, e);
+            assert_eq!(checked_next(&mut w, now), Some((e, 0)));
+            now = e;
+        }
+    }
+
+    #[test]
+    fn differential_random_sequences_match_oracle() {
+        // Seeded LCG; no host randomness.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let comps = 12;
+        let mut w = EventWheel::new(comps);
+        let mut now: Cycle = 0;
+        for _ in 0..20_000 {
+            match rng() % 4 {
+                0 | 1 => {
+                    let comp = (rng() as usize) % comps;
+                    // Mix near, far, and past cycles.
+                    let delta = match rng() % 3 {
+                        0 => rng() % 32,
+                        1 => rng() % (WHEEL_BUCKETS as u64 * 3),
+                        _ => rng() % 4, // may land at/behind now
+                    };
+                    let at = now.saturating_sub(rng() % 2) + delta;
+                    w.post(comp, at);
+                }
+                2 => {
+                    let comp = (rng() as usize) % comps;
+                    w.cancel(comp);
+                }
+                _ => {
+                    let got = w.next_event_after(now);
+                    assert_eq!(got, w.scan_min_after(now), "divergence at now={now}");
+                    // Advance: sometimes skip to the event (the engine's
+                    // event-skip), sometimes crawl.
+                    now = match got {
+                        Some((c, _)) if rng() % 2 == 0 => c,
+                        _ => now + 1 + rng() % 7,
+                    };
+                }
+            }
+        }
+    }
+}

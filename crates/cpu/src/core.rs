@@ -215,6 +215,29 @@ impl Core {
         self.stats.committed
     }
 
+    /// Outstanding load/store-fill tickets as `(ticket, rob_seq)` pairs —
+    /// the requests this core is waiting on. Evidence for the event-skip
+    /// deadlock report.
+    pub fn outstanding_tickets(&self) -> &[(u64, u64)] {
+        &self.tickets
+    }
+
+    /// The outstanding instruction-fetch ticket, if any.
+    pub fn pending_ifetch_ticket(&self) -> Option<u64> {
+        self.ifetch_ticket
+    }
+
+    /// Sequence number of the ROB head (the instruction the core must
+    /// commit next), if the ROB is non-empty.
+    pub fn rob_head_seq(&self) -> Option<u64> {
+        self.rob.front().map(|e| e.seq)
+    }
+
+    /// Occupied ROB entries.
+    pub fn rob_len(&self) -> usize {
+        self.rob.len()
+    }
+
     /// Whether the core is quiescent waiting only on outstanding memory
     /// (used for event skipping): no commit/dispatch possible before the
     /// earliest outstanding completion.
@@ -432,6 +455,25 @@ impl Core {
     /// every core is blocked on memory (event skipping); accounting uses the
     /// real elapsed time so IPC and ROB-head stalls are exact.
     pub fn tick<P: MemPort, S: InstrStream>(&mut self, now: Cycle, port: &mut P, stream: &mut S) {
+        self.tick_gated(now, 0, port, stream)
+    }
+
+    /// [`Core::tick`] for a wake-gated step loop. `skipped_live` is the
+    /// number of cycles since the last tick on which the machine stepped
+    /// but this core slept (an ungated loop would have ticked it; a
+    /// globally event-skipped window passes 0, like [`Core::tick`]). The
+    /// only architectural counter those omitted ticks would have touched
+    /// beyond the skipped-window accounting below is the dispatch stage's
+    /// ROB-full counter, reproduced here under the dispatch stage's own
+    /// entry conditions — all invariant across a slept window.
+    pub fn tick_gated<P: MemPort, S: InstrStream>(
+        &mut self,
+        now: Cycle,
+        skipped_live: u64,
+        port: &mut P,
+        stream: &mut S,
+    ) {
+        let prev_tick = self.last_tick;
         let elapsed = now.saturating_sub(self.last_tick).max(1);
         self.last_tick = now;
         self.stats.cycles += elapsed;
@@ -440,6 +482,20 @@ impl Core {
         // state that triggers a skip), attribute the skipped stall cycles.
         if elapsed > 1 {
             let stalled = elapsed - 1;
+            // Cycles on which the machine stepped while this core slept:
+            // the dispatch stage would have entered (blocked-untils passed,
+            // no fetch in flight) and charged its ROB-full counter before
+            // discovering there was no room. The ROB, the in-flight fetch,
+            // and the untils cannot change while the core sleeps, so the
+            // per-cycle conditions hold for the whole window.
+            if skipped_live > 0
+                && self.rob.len() >= self.cfg.rob_entries
+                && self.ifetch_ticket.is_none()
+                && self.dispatch_blocked_until <= prev_tick
+                && self.fetch_blocked_until <= prev_tick
+            {
+                self.stats.rob_full_cycles += skipped_live;
+            }
             let head = self.rob.front().copied();
             let head_miss = head.is_some_and(|h| h.is_load && h.llc_miss);
             if head_miss {

@@ -201,6 +201,12 @@ pub struct Channel {
     /// telemetry tracks. Copy-DMA activates are not bank-attributed (the OS
     /// copies whole pages; see `inject_copy_traffic`).
     bank_activates: Vec<u64>,
+    /// Monotonic counter bumped on every state change (enqueue, executed
+    /// tick, copy-DMA injection). The system compares it against the version
+    /// it last posted into the global event wheel, so an untouched channel's
+    /// wheel entry is refreshed with a single integer compare instead of a
+    /// `next_event_after` recomputation.
+    state_version: u64,
 }
 
 impl Channel {
@@ -229,7 +235,14 @@ impl Channel {
             reserve_horizon,
             stats: ChannelStats::default(),
             bank_activates,
+            state_version: 0,
         }
+    }
+
+    /// Monotonic state-change counter (see the field docs). Purely
+    /// observational: nothing simulated ever reads it.
+    pub fn state_version(&self) -> u64 {
+        self.state_version
     }
 
     /// Channel configuration.
@@ -276,6 +289,7 @@ impl Channel {
     /// backpressure through its MSHRs.
     pub fn enqueue(&mut self, now: Cycle, req: MemRequest) {
         assert!(self.can_accept(req.kind), "channel queue overflow");
+        self.state_version += 1;
         let d = decode_local(&self.cfg.timing, req.local_off);
         let q = Queued {
             req,
@@ -389,6 +403,7 @@ impl Channel {
         out: &mut Vec<Completion>,
         mut tel: Option<(&mut Telemetry, u32)>,
     ) {
+        self.state_version += 1;
         // Deliver finished reads. The single pass also rebuilds the cached
         // minimum finish over the survivors.
         if self.min_inflight_finish <= now {
@@ -581,6 +596,7 @@ impl Channel {
         if lines == 0 {
             return;
         }
+        self.state_version += 1;
         let t = self.transfer_cycles * lines;
         self.bus_free_at = self.bus_free_at.max(now) + t;
         self.stats.busy_cycles += t;

@@ -190,8 +190,17 @@ impl SystemConfig {
 
     /// Four-core system (the paper's multicore evaluation machine).
     pub fn quad_core(mem: MemSystemConfig) -> SystemConfig {
+        SystemConfig::multi_core(4, mem)
+    }
+
+    /// N-core system at the default scale. The memory system stays the
+    /// paper's four-channel 2 GB machine regardless of core count, so wider
+    /// mixes raise channel contention the way a denser colocation would —
+    /// the caller must pick a workload mix whose combined footprint fits
+    /// (the frame space panics on exhaustion, it does not swap).
+    pub fn multi_core(cores: usize, mem: MemSystemConfig) -> SystemConfig {
         SystemConfig {
-            cores: 4,
+            cores,
             ..SystemConfig::single_core(mem)
         }
     }
@@ -320,5 +329,11 @@ mod tests {
         ));
         assert_eq!(q.cores, 4);
         assert_eq!(q.core.rob_entries, 84);
+        let m = SystemConfig::multi_core(
+            16,
+            MemSystemConfig::Heterogeneous(HeterogeneousLayout::config1()),
+        );
+        assert_eq!(m.cores, 16);
+        m.validate().unwrap();
     }
 }

@@ -18,6 +18,7 @@ pub mod hierarchy;
 pub mod metrics;
 pub mod migration;
 pub mod os;
+pub mod par_step;
 pub mod system;
 
 pub use config::{HeterogeneousLayout, MemSystemConfig, SystemConfig};

@@ -158,6 +158,7 @@ impl Os {
             .policy
             .place(app, intent, &mut self.frames)
             .unwrap_or_else(|| {
+                // moca-lint: allow(panic-in-hot): out of physical memory is a configuration error; aborting with the placement context is the only useful outcome
                 panic!(
                     "out of physical memory: app {} faulting {va:#x} ({intent:?}) under policy {} \
                      ({} total frames)",
@@ -169,6 +170,7 @@ impl Os {
         let kind = self
             .frames
             .kind_of(pfn)
+            // moca-lint: allow(panic-in-hot): the policy just allocated `pfn` from a region; a miss here is allocator corruption
             .expect("allocated frame belongs to a region");
         self.placement.record(app, intent, kind);
         if let Some(t) = tel {

@@ -5,7 +5,9 @@ use crate::hierarchy::CoreHierarchy;
 use crate::metrics::{ChannelReport, CoreResult, MemMetrics, RunResult};
 use crate::migration::{MigrationConfig, Migrator};
 use crate::os::Os;
+use crate::par_step::{resolve_step_threads, SleepSlot, StepPool, TickCtx};
 use moca_common::ids::MemTag;
+use moca_common::wheel::EventWheel;
 use moca_common::{CoreId, Cycle, ObjectClass, VirtAddr};
 use moca_cpu::{Core, MemPort, MemReply, StoreReply};
 use moca_dram::{AddressMapper, Channel, Completion};
@@ -51,8 +53,67 @@ pub struct System {
     os: Os,
     channels: Vec<Channel>,
     mapper: AddressMapper,
-    tickets: u64,
+    /// Per-core ticket counters. Tickets only need to be unique within one
+    /// core (completions route by `comp.core` before the ticket is looked
+    /// up), and per-core counters keep stepping free of cross-core state.
+    tickets: Vec<u64>,
     now: Cycle,
+    /// Per-core next cycle at which the core's pipeline can make progress:
+    /// `now + 1` while runnable, the core-local/memory wake event while
+    /// blocked, `Cycle::MAX` once drained. The step loop only ticks cores
+    /// whose `wake_at` has arrived; everything that can unblock a core
+    /// (DRAM completions, its own tick) updates this array.
+    wake_at: Vec<Cycle>,
+    /// Per-core committed-instruction mirror, refreshed after each tick
+    /// (dense array so the run loops never walk the cores).
+    committed: Vec<u64>,
+    /// Per-core flag: committed ≥ `commit_target` (monotonic per phase).
+    crossed: Vec<bool>,
+    /// Number of cores with `crossed == false`; the warmup loop runs while
+    /// this is non-zero.
+    below_target: usize,
+    /// Commit threshold the step loop checks ticked cores against
+    /// (warmup instructions, then the measurement target).
+    commit_target: u64,
+    /// Set by `step` whenever some core first crossed `commit_target`;
+    /// the measure loop only scans for cores to freeze when it is set.
+    commit_crossed: bool,
+    /// Number of cores that have fully drained (stream exhausted, ROB
+    /// empty). Event skip is disabled once any core is finished, matching
+    /// the drain-phase semantics of the linear scan this replaced.
+    finished_count: usize,
+    /// Global event wheel over `cores.len() + channels.len()` components:
+    /// component `i < cores` is core `i`'s wake event, component
+    /// `cores + c` is channel `c`'s next-event estimate. Replaces the
+    /// per-step linear scans over all cores and channels on the
+    /// all-blocked path.
+    wheel: EventWheel,
+    /// Per-channel `state_version` at the time of the channel's last wheel
+    /// post; the skip path only re-queries `next_event_after` for channels
+    /// whose version moved.
+    chan_posted: Vec<u64>,
+    /// Bitmask (one bit per core) of hierarchies that may hold deferred
+    /// writebacks/store-fills; phase 2 walks set bits instead of asking
+    /// every hierarchy every cycle.
+    deferred_words: Vec<u64>,
+    /// Number of `step` calls so far — the cycles the machine actually
+    /// executed (event-skipped windows take no steps). With `steps_at_tick`
+    /// this tells a waking core how many stepped cycles it slept through,
+    /// which an ungated loop would have ticked it on (`Core::tick_gated`).
+    steps: u64,
+    /// Per-core value of `steps` at the core's last pipeline tick.
+    steps_at_tick: Vec<u64>,
+    /// Worker threads for phase 3 (1 = sequential). See [`crate::par_step`];
+    /// results are bit-identical for any value.
+    step_threads: usize,
+    /// This cycle's awake-core list (indices with `wake_at <= now`), in
+    /// ascending order — the tick and bookkeeping passes share it.
+    awake: Vec<usize>,
+    /// Per-core tick outcome, written by the tick pass (possibly on worker
+    /// threads) and replayed in core order by the bookkeeping pass.
+    sleeps: Vec<SleepSlot>,
+    /// Per-core `has_deferred` flag captured right after the core's tick.
+    hier_deferred: Vec<bool>,
     /// Per-core flag: still inside its measurement window. Cores that reach
     /// the instruction target keep running (to preserve contention) but
     /// their memory latencies stop counting toward the metrics.
@@ -97,14 +158,14 @@ pub struct System {
     win_bank_act: Vec<Vec<u64>>,
 }
 
-struct Port<'a> {
-    hier: &'a mut CoreHierarchy,
-    channels: &'a mut [Channel],
-    mapper: &'a AddressMapper,
-    os: &'a mut Os,
-    core_idx: usize,
-    tickets: &'a mut u64,
-    tel: &'a mut Telemetry,
+pub(crate) struct Port<'a> {
+    pub(crate) hier: &'a mut CoreHierarchy,
+    pub(crate) channels: &'a mut [Channel],
+    pub(crate) mapper: &'a AddressMapper,
+    pub(crate) os: &'a mut Os,
+    pub(crate) core_idx: usize,
+    pub(crate) tickets: &'a mut u64,
+    pub(crate) tel: &'a mut Telemetry,
 }
 
 impl Port<'_> {
@@ -299,8 +360,24 @@ impl System {
             os,
             channels,
             mapper,
-            tickets: 0,
+            tickets: vec![0; n],
             now: 0,
+            wake_at: vec![0; n],
+            committed: vec![0; n],
+            crossed: vec![false; n],
+            below_target: n,
+            commit_target: 0,
+            commit_crossed: false,
+            finished_count: 0,
+            wheel: EventWheel::new(n + channel_count),
+            chan_posted: vec![u64::MAX; channel_count],
+            deferred_words: vec![0; n.div_ceil(64)],
+            steps: 0,
+            steps_at_tick: vec![0; n],
+            step_threads: resolve_step_threads(None),
+            awake: Vec::with_capacity(n),
+            sleeps: vec![SleepSlot::Runnable; n],
+            hier_deferred: vec![false; n],
             measuring: vec![true; n],
             frozen: vec![false; n],
             woken_buf: Vec::new(),
@@ -481,8 +558,34 @@ impl System {
 
     /// One simulator cycle: DRAM completions, deferred writes, core
     /// pipelines, event skip. Read latencies are accumulated into `mem`.
-    fn step(&mut self, mem: &mut MemMetrics, comps: &mut Vec<Completion>) {
+    /// Capture the raw-parts view of phase 3's state for one cycle's
+    /// parallel fan-out.
+    fn tick_ctx(&mut self, now: Cycle) -> TickCtx {
+        TickCtx {
+            cores: self.cores.as_mut_ptr(),
+            hiers: self.hiers.as_mut_ptr(),
+            streams: self.streams.as_mut_ptr(),
+            tickets: self.tickets.as_mut_ptr(),
+            steps_at_tick: self.steps_at_tick.as_mut_ptr(),
+            committed: self.committed.as_mut_ptr(),
+            sleeps: self.sleeps.as_mut_ptr(),
+            hier_deferred: self.hier_deferred.as_mut_ptr(),
+            // moca-lint: allow(det-taint): raw-parts capture for the step pool; the pointers index disjoint per-core state and never become sim-visible values
+            awake: self.awake.as_ptr(),
+            awake_len: self.awake.len(),
+            channels: self.channels.as_mut_ptr(),
+            channels_len: self.channels.len(),
+            mapper: &self.mapper,
+            os: &mut self.os,
+            tel: &mut self.tel,
+            now,
+            steps: self.steps,
+        }
+    }
+
+    fn step(&mut self, mem: &mut MemMetrics, comps: &mut Vec<Completion>, pool: Option<&StepPool>) {
         self.now += 1;
+        self.steps += 1;
         let now = self.now;
         let n = self.cores.len();
         let profile = self.tel.host_profiling();
@@ -519,6 +622,16 @@ impl System {
             );
             for &t in &self.woken_buf {
                 self.cores[ci].complete(t, now);
+            }
+            // The fill may have evicted a dirty line the channel refused:
+            // flag the hierarchy for the deferred-retry pass either way.
+            if self.hiers[ci].has_deferred() {
+                self.deferred_words[ci / 64] |= 1 << (ci % 64);
+            }
+            if !self.woken_buf.is_empty() && !self.cores[ci].finished() && self.wake_at[ci] > now {
+                // A completed ticket can unblock the pipeline this very
+                // cycle; pull the core out of its sleep.
+                self.wake_at[ci] = now;
             }
             if self.attr_enabled && !self.woken_buf.is_empty() {
                 // Which tier served this read and why it took as long as it
@@ -566,43 +679,132 @@ impl System {
                 },
             );
             self.migrator = Some(m);
+            // The epoch invalidates lines across every hierarchy, which can
+            // queue writebacks anywhere: rebuild the deferred mask from
+            // scratch (epoch-rate, not cycle-rate).
+            for (i, h) in self.hiers.iter().enumerate() {
+                if h.has_deferred() {
+                    self.deferred_words[i / 64] |= 1 << (i % 64);
+                }
+            }
             if let Some(t) = t0 {
                 self.tel.components.vm += t.elapsed();
             }
         }
 
-        // 2. Retry deferred writebacks/store-fills.
+        // 2. Retry deferred writebacks/store-fills — walk only the
+        // hierarchies flagged in the deferred mask (bit set ⊇ has_deferred;
+        // stale bits clear themselves here), in core-index order like the
+        // full loop this replaced.
         // moca-lint: allow(wall-clock): host self-profiling span, never read by the simulation
         let t0 = profile.then(std::time::Instant::now);
-        for h in &mut self.hiers {
-            if h.has_deferred() {
-                h.flush_deferred(now, &mut self.channels, &self.mapper);
+        for w in 0..self.deferred_words.len() {
+            let mut bits = self.deferred_words[w];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let i = w * 64 + b;
+                if self.hiers[i].has_deferred() {
+                    self.hiers[i].flush_deferred(now, &mut self.channels, &self.mapper);
+                }
+                if !self.hiers[i].has_deferred() {
+                    self.deferred_words[w] &= !(1u64 << b);
+                }
             }
         }
         if let Some(t) = t0 {
             self.tel.components.cache += t.elapsed();
         }
 
-        // 3. Core pipelines.
+        // 3. Core pipelines — only cores whose wake event has arrived.
+        // A sleeping core's tick is a pure no-op until its `wake_at`
+        // (its elapsed-cycle stats catch up inside `Core::tick`), and a
+        // fully drained core sits at `Cycle::MAX` forever. The tick pass
+        // runs sequentially or fans out across the step pool (bit-identical
+        // either way — see `par_step`); the bookkeeping pass below replays
+        // each core's recorded outcome in core order.
         // moca-lint: allow(wall-clock): host self-profiling span, never read by the simulation
         let t0 = profile.then(std::time::Instant::now);
+        self.awake.clear();
         for i in 0..n {
-            // A fully drained core (stream exhausted, ROB empty) has nothing
-            // left to commit, issue, or dispatch: its tick would only bump
-            // dead cycle counters, so skip it.
-            if self.cores[i].finished() {
-                continue;
+            if self.wake_at[i] <= now {
+                self.awake.push(i);
             }
-            let mut port = Port {
-                hier: &mut self.hiers[i],
-                channels: &mut self.channels,
-                mapper: &self.mapper,
-                os: &mut self.os,
-                core_idx: i,
-                tickets: &mut self.tickets,
-                tel: &mut self.tel,
-            };
-            self.cores[i].tick(now, &mut port, &mut self.streams[i]);
+        }
+        match pool {
+            Some(pool) if self.awake.len() > 1 => {
+                let ctx = self.tick_ctx(now);
+                // SAFETY: `ctx` views exactly the state the sequential tick
+                // pass touches; nothing else reads or writes it until
+                // `run_cycle` returns, and this is the pool's main thread.
+                unsafe { pool.run_cycle(ctx) };
+            }
+            _ => {
+                for p in 0..self.awake.len() {
+                    let i = self.awake[p];
+                    let mut port = Port {
+                        hier: &mut self.hiers[i],
+                        channels: &mut self.channels,
+                        mapper: &self.mapper,
+                        os: &mut self.os,
+                        core_idx: i,
+                        tickets: &mut self.tickets[i],
+                        tel: &mut self.tel,
+                    };
+                    let skipped_live = self.steps - self.steps_at_tick[i] - 1;
+                    self.steps_at_tick[i] = self.steps;
+                    self.cores[i].tick_gated(now, skipped_live, &mut port, &mut self.streams[i]);
+                    self.committed[i] = self.cores[i].committed();
+                    self.hier_deferred[i] = self.hiers[i].has_deferred();
+                    self.sleeps[i] = match self.cores[i].sleep_state(now) {
+                        None if self.cores[i].finished() => SleepSlot::Finished,
+                        None => SleepSlot::Runnable,
+                        Some(e) => SleepSlot::Sleep(e),
+                    };
+                }
+            }
+        }
+        // Bookkeeping pass: refresh the dense per-core state the run loops
+        // read, and reschedule each ticked core. Runnable cores are counted
+        // locally for this step's skip decision (not queued — they would
+        // churn the wheel every cycle); sleepers are posted at their wake
+        // event. Ticks never read any of this, so running it after the
+        // whole tick pass is order-equivalent to the fused loop.
+        let mut runnable_next = 0usize;
+        for p in 0..self.awake.len() {
+            let i = self.awake[p];
+            let c = self.committed[i];
+            if !self.crossed[i] && c >= self.commit_target {
+                self.crossed[i] = true;
+                self.below_target -= 1;
+                self.commit_crossed = true;
+            }
+            if self.hier_deferred[i] {
+                self.deferred_words[i / 64] |= 1 << (i % 64);
+            }
+            match self.sleeps[i] {
+                SleepSlot::Finished => {
+                    self.wake_at[i] = Cycle::MAX;
+                    self.finished_count += 1;
+                    self.wheel.cancel(i);
+                }
+                SleepSlot::Runnable => {
+                    self.wake_at[i] = now + 1;
+                    runnable_next += 1;
+                    self.wheel.cancel(i);
+                }
+                SleepSlot::Sleep(e) => {
+                    self.wake_at[i] = e;
+                    if e <= now + 1 {
+                        runnable_next += 1;
+                        self.wheel.cancel(i);
+                    } else if e == Cycle::MAX {
+                        self.wheel.cancel(i);
+                    } else {
+                        self.wheel.post(i, e);
+                    }
+                }
+            }
         }
         if let Some(t) = t0 {
             self.tel.components.cpu += t.elapsed();
@@ -623,40 +825,122 @@ impl System {
         }
 
         // 4. Event skip: if every core is stalled on memory, jump to the
-        // next completion/command boundary. One combined blocked+next-event
-        // pass per core (short-circuiting on the first awake core) and an
-        // O(1) cached next-event query per channel — no bank or in-flight
-        // scans on this path.
-        let mut all_blocked = true;
-        let mut next = Cycle::MAX;
-        for c in &self.cores {
-            match c.sleep_state(now) {
-                None => {
-                    all_blocked = false;
-                    break;
-                }
-                Some(e) => next = next.min(e),
-            }
-        }
-        if all_blocked {
-            for ch in &self.channels {
-                if let Some(c) = ch.next_event_after(now) {
-                    next = next.min(c);
+        // next completion/command boundary. The wheel already holds every
+        // sleeping core's wake event; only channels whose state moved since
+        // their last post get re-queried, then one wheel pop yields the
+        // global minimum — no per-core or per-channel scan on this path.
+        // Skipping stays disabled while any core is drained, preserving the
+        // cycle-by-cycle drain semantics of the linear scan this replaced.
+        if self.finished_count == 0 && runnable_next == 0 {
+            for c in 0..self.channels.len() {
+                let v = self.channels[c].state_version();
+                if self.chan_posted[c] != v {
+                    self.chan_posted[c] = v;
+                    let e = self.channels[c].next_event_after(now).unwrap_or(Cycle::MAX);
+                    self.wheel.post(n + c, e);
                 }
             }
+            let next = self.wheel.next_event_after(now);
+            #[cfg(debug_assertions)]
+            self.check_skip_against_scan(now, next);
             // The drain phase terminates through these events: every blocked
             // core waits on a channel completion (tracked by the channel
             // next-events) or a core-local timer. Neither pending means the
             // machine can never advance — fail loudly rather than spinning
             // into the generic run watchdog.
-            assert!(
-                next != Cycle::MAX,
-                "event-skip deadlock at cycle {now}: every core is blocked on memory \
-                 but no channel completion or core-local event is pending"
-            );
+            let next = next.map_or(Cycle::MAX, |(c, _)| c);
+            assert!(next != Cycle::MAX, "{}", self.deadlock_report(now));
             if next > now + 1 {
                 self.now = next - 1;
             }
+        }
+    }
+
+    /// Differential check (debug builds only): the wheel's skip decision
+    /// must match the per-core/per-channel linear scan it replaced.
+    #[cfg(debug_assertions)]
+    fn check_skip_against_scan(&self, now: Cycle, wheel_next: Option<(Cycle, usize)>) {
+        let mut next = Cycle::MAX;
+        for (i, c) in self.cores.iter().enumerate() {
+            match c.sleep_state(now) {
+                // moca-lint: allow(panic-in-hot): debug-only differential oracle; divergence must abort
+                None => panic!(
+                    "event wheel diverged at cycle {now}: core {i} is runnable \
+                     but the step loop counted no runnable cores"
+                ),
+                Some(e) => next = next.min(e),
+            }
+        }
+        for ch in &self.channels {
+            if let Some(c) = ch.next_event_after(now) {
+                next = next.min(c);
+            }
+        }
+        let got = wheel_next.map_or(Cycle::MAX, |(c, _)| c);
+        assert!(
+            got == next,
+            "event wheel diverged from the linear scan at cycle {now}: \
+             wheel says next event at {got}, scan says {next}"
+        );
+    }
+
+    /// Build the event-skip deadlock panic message: per-core wait state and
+    /// per-channel queue state, so the failure is debuggable from the panic
+    /// alone. Cold failure path — called at most once per run, right before
+    /// the panic aborts it.
+    #[cold]
+    fn deadlock_report(&self, now: Cycle) -> String {
+        use std::fmt::Write as _;
+        // moca-lint: allow(hot-alloc): deadlock failure path — builds the panic report once, then the run aborts
+        let mut r = format!(
+            "event-skip deadlock at cycle {now}: every core is blocked on memory \
+             but no channel completion or core-local event is pending\n"
+        );
+        for (i, c) in self.cores.iter().enumerate() {
+            let _ = writeln!(
+                r,
+                "  core {i}: committed {}, rob {} entries (head seq {:?}), wake_at {}, \
+                 waiting on tickets {:?}, ifetch ticket {:?}",
+                c.committed(),
+                c.rob_len(),
+                c.rob_head_seq(),
+                self.wake_at[i],
+                c.outstanding_tickets(),
+                c.pending_ifetch_ticket(),
+            );
+        }
+        for (ci, ch) in self.channels.iter().enumerate() {
+            let _ = writeln!(
+                r,
+                "  channel {ci}: readq {}, writeq {}, idle {}",
+                ch.read_queue_len(),
+                ch.write_queue_len(),
+                ch.next_event_after(now).is_none(),
+            );
+        }
+        r
+    }
+
+    /// Arm the step loop's commit-crossing detector for a new phase: every
+    /// core is re-checked against `target` from its current committed count
+    /// (warmup and measurement both count from a stats reset, so a fresh
+    /// phase starts with every core below target).
+    fn set_commit_target(&mut self, target: u64) {
+        self.commit_target = target;
+        self.below_target = 0;
+        self.commit_crossed = false;
+        for (i, core) in self.cores.iter().enumerate() {
+            let c = core.committed();
+            self.committed[i] = c;
+            self.crossed[i] = c >= target;
+            if !self.crossed[i] {
+                self.below_target += 1;
+            }
+        }
+        // A target some core already meets must still be seen by the freeze
+        // scan on the first step.
+        if self.cores.iter().any(|c| c.committed() >= target) {
+            self.commit_crossed = true;
         }
     }
 
@@ -669,10 +953,42 @@ impl System {
         self.run_warmed(0, instr_target)
     }
 
+    /// Set the phase-3 worker-thread count for subsequent runs (1 =
+    /// sequential, the default unless `MOCA_STEP_THREADS` is set). Results
+    /// are bit-identical for every value — parallelism only changes which
+    /// host thread executes a core's tick, never the order of shared-state
+    /// operations.
+    pub fn set_step_threads(&mut self, threads: usize) {
+        self.step_threads = threads.max(1);
+    }
+
     /// Fast-forward for `warmup` committed instructions per core (warming
     /// caches, TLBs, and page tables — the paper's SimPoint fast-forward),
     /// zero all statistics, then measure `instr_target` instructions.
     pub fn run_warmed(&mut self, warmup: u64, instr_target: u64) -> RunResult {
+        let threads = self.step_threads.min(self.cores.len()).max(1);
+        if threads <= 1 {
+            return self.run_warmed_inner(warmup, instr_target, None);
+        }
+        let pool = StepPool::new(threads);
+        // moca-lint: allow(wall-clock): host worker threads; the frontier protocol keeps results bit-identical
+        std::thread::scope(|s| {
+            for w in 1..threads {
+                let pool = &pool;
+                s.spawn(move || pool.worker_loop(w));
+            }
+            let r = self.run_warmed_inner(warmup, instr_target, Some(&pool));
+            pool.shutdown();
+            r
+        })
+    }
+
+    fn run_warmed_inner(
+        &mut self,
+        warmup: u64,
+        instr_target: u64,
+        pool: Option<&StepPool>,
+    ) -> RunResult {
         assert!(instr_target > 0);
         let n = self.cores.len();
         let mut comps: Vec<Completion> = Vec::new();
@@ -687,8 +1003,9 @@ impl System {
         if warmup > 0 {
             // Metrics are discarded after warmup; suppress accumulation.
             self.measuring.iter_mut().for_each(|m| *m = false);
-            while self.cores.iter().any(|c| c.committed() < warmup) {
-                self.step(&mut mem, &mut comps);
+            self.set_commit_target(warmup);
+            while self.below_target > 0 {
+                self.step(&mut mem, &mut comps, pool);
                 assert!(self.now < watchdog, "warmup watchdog tripped");
             }
             self.measuring.iter_mut().for_each(|m| *m = true);
@@ -711,10 +1028,19 @@ impl System {
         self.sample_occupancy();
 
         type FrozenCore = (moca_cpu::CoreStats, Cycle, Option<AttrSnapshot>);
+        self.set_commit_target(instr_target);
         let mut frozen: Vec<Option<FrozenCore>> = vec![None; n];
-        while frozen.iter().any(Option::is_none) {
-            self.step(&mut mem, &mut comps);
+        let mut remaining = n;
+        while remaining > 0 {
+            self.step(&mut mem, &mut comps, pool);
             assert!(self.now < watchdog, "simulation watchdog tripped");
+            // The step loop sets `commit_crossed` when a ticked core first
+            // reaches the target; scanning for cores to freeze on any other
+            // cycle cannot find one.
+            if !self.commit_crossed {
+                continue;
+            }
+            self.commit_crossed = false;
             let mut newly_frozen = false;
             for (i, slot) in frozen.iter_mut().enumerate() {
                 if slot.is_none() && self.cores[i].committed() >= instr_target {
@@ -724,6 +1050,7 @@ impl System {
                         self.cores[i].attr_snapshot(),
                     ));
                     newly_frozen = true;
+                    remaining -= 1;
                     self.measuring[i] = false;
                     self.frozen[i] = true;
                     let committed = self.cores[i].committed();
@@ -814,6 +1141,46 @@ mod tests {
         assert!(r.placement.total_pages() > 0);
         assert!(r.mem.energy_j() > 0.0);
         assert_eq!(r.mem.channels.len(), 4);
+    }
+
+    /// A machine whose every core is blocked on memory while no channel
+    /// completion or core-local event is pending must abort through the
+    /// event-skip deadlock assert — with the diagnostic report — rather
+    /// than spinning silently until the run watchdog fires.
+    #[test]
+    #[should_panic(expected = "event-skip deadlock")]
+    fn empty_wheel_trips_deadlock_assert() {
+        let cfg = SystemConfig::single_core(MemSystemConfig::Homogeneous(ModuleKind::Ddr3));
+        let launch = AppLaunch::untyped(app_by_name("mcf"), InputSet::reference());
+        let mut sys = System::new(cfg, vec![launch], Box::new(FirstTouchPolicy));
+        let mut mem = MemMetrics {
+            per_core_read_latency: vec![0; 1],
+            ..MemMetrics::default()
+        };
+        let mut comps = Vec::new();
+        for _ in 0..200_000 {
+            sys.step(&mut mem, &mut comps, None);
+            let now = sys.now;
+            // Wait for a cycle where the core is purely memory-blocked (no
+            // core-local timer: its only wake event is a DRAM completion).
+            if !sys.cores[0].finished() && sys.wake_at[0] == Cycle::MAX {
+                // Lose the completions: swap in fresh, empty channels, keep
+                // `chan_posted` matching their versions so the skip path
+                // does not re-post them, and empty the wheel of any stale
+                // channel events. The core now waits on a read that will
+                // never return — a modelling bug this assert must catch.
+                for ch in &mut sys.channels {
+                    *ch = Channel::new(ch.config().clone());
+                }
+                for (c, ch) in sys.channels.iter().enumerate() {
+                    sys.chan_posted[c] = ch.state_version();
+                }
+                sys.wheel = EventWheel::new(sys.cores.len() + sys.channels.len());
+                sys.step(&mut mem, &mut comps, None);
+                unreachable!("the deadlocked step above must panic");
+            }
+        }
+        unreachable!("no purely memory-blocked cycle found");
     }
 
     #[test]

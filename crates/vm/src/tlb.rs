@@ -18,19 +18,16 @@ impl TlbStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    vpn: u64,
-    pfn: u64,
-    used: u64,
-}
-
 /// Fully-associative LRU TLB. Capacities are small (64 entries), so lookups
-/// are a linear scan over a dense array — faster in practice than a hash map
-/// at this size and trivially correct.
+/// are a linear scan — but laid out struct-of-arrays so the tag scan runs
+/// over a dense `u64` array the compiler can vectorize, instead of striding
+/// over (vpn, pfn, used) triples. Faster in practice than a hash map at this
+/// size and trivially correct.
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    entries: Vec<Entry>,
+    vpns: Vec<u64>,
+    pfns: Vec<u64>,
+    used: Vec<u64>,
     capacity: usize,
     clock: u64,
     /// Index of the most recently hit/inserted entry, checked before the
@@ -48,7 +45,9 @@ impl Tlb {
     pub fn new(capacity: usize) -> Tlb {
         assert!(capacity > 0);
         Tlb {
-            entries: Vec::with_capacity(capacity),
+            vpns: Vec::with_capacity(capacity),
+            pfns: Vec::with_capacity(capacity),
+            used: Vec::with_capacity(capacity),
             capacity,
             clock: 0,
             mru: 0,
@@ -59,20 +58,16 @@ impl Tlb {
     /// Look up a virtual page number, updating LRU and statistics.
     pub fn lookup(&mut self, vpn: u64) -> Option<u64> {
         self.clock += 1;
-        if let Some(e) = self.entries.get_mut(self.mru) {
-            if e.vpn == vpn {
-                e.used = self.clock;
-                self.stats.hits += 1;
-                return Some(e.pfn);
-            }
+        if self.vpns.get(self.mru) == Some(&vpn) {
+            self.used[self.mru] = self.clock;
+            self.stats.hits += 1;
+            return Some(self.pfns[self.mru]);
         }
-        for (i, e) in self.entries.iter_mut().enumerate() {
-            if e.vpn == vpn {
-                e.used = self.clock;
-                self.mru = i;
-                self.stats.hits += 1;
-                return Some(e.pfn);
-            }
+        if let Some(i) = self.vpns.iter().position(|&v| v == vpn) {
+            self.used[i] = self.clock;
+            self.mru = i;
+            self.stats.hits += 1;
+            return Some(self.pfns[i]);
         }
         self.stats.misses += 1;
         None
@@ -82,40 +77,36 @@ impl Tlb {
     /// full. Replaces any stale entry for the same vpn.
     pub fn insert(&mut self, vpn: u64, pfn: u64) {
         self.clock += 1;
-        if let Some((i, e)) = self
-            .entries
-            .iter_mut()
-            .enumerate()
-            .find(|(_, e)| e.vpn == vpn)
-        {
-            e.pfn = pfn;
-            e.used = self.clock;
+        if let Some(i) = self.vpns.iter().position(|&v| v == vpn) {
+            self.pfns[i] = pfn;
+            self.used[i] = self.clock;
             self.mru = i;
             return;
         }
-        let entry = Entry {
-            vpn,
-            pfn,
-            used: self.clock,
-        };
-        if self.entries.len() < self.capacity {
-            self.entries.push(entry);
-            self.mru = self.entries.len() - 1;
+        if self.vpns.len() < self.capacity {
+            self.vpns.push(vpn);
+            self.pfns.push(pfn);
+            self.used.push(self.clock);
+            self.mru = self.vpns.len() - 1;
         } else {
-            let (i, lru) = self
-                .entries
-                .iter_mut()
-                .enumerate()
-                .min_by_key(|(_, e)| e.used)
-                .expect("non-empty");
-            *lru = entry;
+            let mut i = 0;
+            for (j, &u) in self.used.iter().enumerate() {
+                if u < self.used[i] {
+                    i = j;
+                }
+            }
+            self.vpns[i] = vpn;
+            self.pfns[i] = pfn;
+            self.used[i] = self.clock;
             self.mru = i;
         }
     }
 
     /// Drop all entries (context switch).
     pub fn flush(&mut self) {
-        self.entries.clear();
+        self.vpns.clear();
+        self.pfns.clear();
+        self.used.clear();
         self.mru = 0;
     }
 

@@ -63,10 +63,15 @@ pub struct AppRun {
     stack_lines: u64,
     objects: Vec<ObjState>,
     weights: Vec<f64>,
-    /// Odd-phase weights + period, when the app is phased.
-    phases: Option<(u64, Vec<f64>)>,
+    /// Sum of `weights`, precomputed so each heap access skips the re-sum.
+    weights_total: f64,
+    /// Odd-phase (period, weights, weight sum), when the app is phased.
+    phases: Option<(u64, Vec<f64>, f64)>,
     /// Instructions generated so far (drives phase switching).
     generated: u64,
+    /// Instructions left in the current phase (countdown replaces the
+    /// per-instruction division by the period).
+    phase_left: u64,
     /// Whether the odd-phase weights are active.
     in_odd_phase: bool,
 }
@@ -116,10 +121,12 @@ impl AppRun {
             })
             .collect();
         let weights: Vec<f64> = objects.iter().map(|o| o.weight).collect();
-        let phases = spec
-            .phases
-            .as_ref()
-            .map(|p| (p.period, p.odd_weights.clone()));
+        let weights_total: f64 = weights.iter().sum();
+        let phases = spec.phases.as_ref().map(|p| {
+            let total: f64 = p.odd_weights.iter().sum();
+            (p.period, p.odd_weights.clone(), total)
+        });
+        let phase_left = phases.as_ref().map_or(0, |(period, ..)| *period);
         AppRun {
             name: spec.name,
             rng: DetRng::new(input.seed ^ fxhash(spec.name), stream),
@@ -134,8 +141,10 @@ impl AppRun {
             stack_lines: (spec.stack_working_set / CACHE_LINE_SIZE).max(1),
             objects,
             weights,
+            weights_total,
             phases,
             generated: 0,
+            phase_left,
             in_odd_phase: false,
         }
     }
@@ -146,11 +155,11 @@ impl AppRun {
     }
 
     fn heap_access(&mut self) -> Instr {
-        let weights = match (&self.phases, self.in_odd_phase) {
-            (Some((_, odd)), true) => odd,
-            _ => &self.weights,
+        let (weights, total) = match (&self.phases, self.in_odd_phase) {
+            (Some((_, odd, t)), true) => (odd, *t),
+            _ => (&self.weights, self.weights_total),
         };
-        let i = self.rng.weighted_index(weights);
+        let i = self.rng.weighted_index_with_total(weights, total);
         let o = &mut self.objects[i];
         let first_of_line = o.burst_left == 0;
         if first_of_line {
@@ -224,8 +233,13 @@ impl AppRun {
 impl InstrStream for AppRun {
     fn next_instr(&mut self) -> Option<Instr> {
         self.generated += 1;
-        if let Some((period, _)) = &self.phases {
-            self.in_odd_phase = (self.generated / period) % 2 == 1;
+        if let Some((period, ..)) = &self.phases {
+            // Countdown equivalent of `(generated / period) % 2 == 1`.
+            self.phase_left -= 1;
+            if self.phase_left == 0 {
+                self.in_odd_phase = !self.in_odd_phase;
+                self.phase_left = *period;
+            }
         }
         let r = self.rng.unit();
         Some(if r < self.mem_fraction {
