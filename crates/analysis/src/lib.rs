@@ -916,8 +916,10 @@ pub struct ModelCheck {
 
 /// Statically validate the timing/layout model: every Table II device
 /// preset ([`moca_dram::DeviceTiming::validate`]), the virtual
-/// address-space layout ([`moca_vm::layout::validate_layout`]), and every
-/// evaluated system configuration ([`moca_sim::config::SystemConfig`]).
+/// address-space layout ([`moca_vm::layout::validate_layout`]), every
+/// evaluated system configuration ([`moca_sim::config::SystemConfig`]),
+/// and the frame-allocator identities of every memory layout at both the
+/// default evaluation scale (1/64) and full scale=1 footprints.
 pub fn check_model() -> Vec<ModelCheck> {
     use moca_common::ModuleKind;
     use moca_sim::config::{HeterogeneousLayout, MemSystemConfig, SystemConfig};
@@ -960,11 +962,125 @@ pub fn check_model() -> Vec<ModelCheck> {
             MemSystemConfig::Heterogeneous(HeterogeneousLayout::config3()),
         ),
     ];
-    for (label, mem) in mems {
+    for (label, mem) in &mems {
         checks.push(ModelCheck {
             name: format!("system config {label}"),
-            result: SystemConfig::quad_core(mem).validate(),
+            result: SystemConfig::quad_core(*mem).validate(),
         });
     }
+
+    // Striping must respect the L2 page-color period: rotating regions
+    // every STRIPE_CHUNK frames only keeps virtually-adjacent pages
+    // covering all physical page colors if the chunk is a whole number of
+    // color periods.
+    checks.push(ModelCheck {
+        name: "stripe chunk vs L2 color period".to_string(),
+        result: {
+            let l2 = moca_cache::CacheConfig::l2();
+            let color_period_pages =
+                l2.sets() * moca_common::CACHE_LINE_SIZE / moca_common::PAGE_SIZE;
+            if color_period_pages == 0 {
+                Err(format!(
+                    "L2 ({} sets) spans less than one page; page coloring is moot",
+                    l2.sets()
+                ))
+            } else if moca_vm::STRIPE_CHUNK % color_period_pages != 0 {
+                Err(format!(
+                    "STRIPE_CHUNK {} not a multiple of the L2 color period {} pages",
+                    moca_vm::STRIPE_CHUNK,
+                    color_period_pages
+                ))
+            } else {
+                Ok(())
+            }
+        },
+    });
+
+    // Frame-allocator identities per layout at the default evaluation
+    // scale and at scale=1 — the full-footprint regime the hierarchical
+    // bitmap exists for.
+    for (label, mem) in &mems {
+        for (scale_label, scale) in [
+            ("1/64", moca_workloads::spec::DEFAULT_FOOTPRINT_SCALE),
+            ("1", 1.0),
+        ] {
+            checks.push(ModelCheck {
+                name: format!("frame allocator {label} @ scale {scale_label}"),
+                result: validate_frame_allocator(mem, scale),
+            });
+        }
+    }
     checks
+}
+
+/// Frame-allocator structural identities for one memory layout at one
+/// capacity scale: contiguous zero-based regions, page-aligned capacities,
+/// frame-count/capacity agreement, all-free headroom at init, bitmap
+/// invariants, and bitmap-bounded bookkeeping memory.
+fn validate_frame_allocator(
+    mem: &moca_sim::config::MemSystemConfig,
+    scale: f64,
+) -> Result<(), String> {
+    use moca_common::PAGE_SIZE;
+
+    let regions = mem.frame_regions(scale);
+    if regions.is_empty() {
+        return Err("layout produced no regions".to_string());
+    }
+    let mut expected_base = 0u64;
+    for (i, r) in regions.iter().enumerate() {
+        if r.base_pfn != expected_base {
+            return Err(format!(
+                "region {i} ({}) starts at pfn {}, expected {expected_base} (gap or overlap)",
+                r.kind, r.base_pfn
+            ));
+        }
+        if r.frames == 0 {
+            return Err(format!("region {i} ({}) is empty", r.kind));
+        }
+        if r.capacity_bytes() != r.frames * PAGE_SIZE {
+            return Err(format!(
+                "region {i} ({}) capacity {} disagrees with {} frames",
+                r.kind,
+                r.capacity_bytes(),
+                r.frames
+            ));
+        }
+        expected_base += r.frames;
+    }
+
+    let fs = moca_vm::FrameSpace::new(regions.clone());
+    fs.check_invariants()
+        .map_err(|e| format!("fresh allocator violates invariants: {e}"))?;
+    if fs.total_frames() != expected_base {
+        return Err(format!(
+            "allocator counts {} frames, regions sum to {expected_base}",
+            fs.total_frames()
+        ));
+    }
+    // At init every frame of every kind is free, and headroom must say so.
+    for (kind, free) in fs.headroom() {
+        let expect: u64 = regions
+            .iter()
+            .filter(|r| r.kind == kind)
+            .map(|r| r.frames)
+            .sum();
+        if free != expect {
+            return Err(format!(
+                "initial headroom for {kind} is {free}, regions hold {expect} frames"
+            ));
+        }
+    }
+    // Bookkeeping must stay bitmap-bounded (≈ frames/8 + frames/512 bytes),
+    // not freed-Vec-bounded: allow one byte per four frames plus fixed
+    // per-region slack.
+    let budget = fs.total_frames() / 4 + 4096 * regions.len() as u64;
+    if fs.alloc_bytes() as u64 > budget {
+        return Err(format!(
+            "allocator bookkeeping {} B exceeds bitmap budget {budget} B for {} frames",
+            fs.alloc_bytes(),
+            fs.total_frames()
+        ));
+    }
+    Ok(())
 }

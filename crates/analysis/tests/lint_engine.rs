@@ -277,4 +277,18 @@ fn model_checks_all_pass_on_committed_presets() {
     for c in &checks {
         assert!(c.result.is_ok(), "{} failed: {:?}", c.name, c.result);
     }
+    // The allocator identities cover every layout at both scales, plus the
+    // stripe/color-period divisibility check.
+    let alloc_checks = checks
+        .iter()
+        .filter(|c| c.name.starts_with("frame allocator"))
+        .count();
+    assert_eq!(alloc_checks, 14, "7 layouts x 2 scales");
+    assert!(checks
+        .iter()
+        .any(|c| c.name.contains("stripe chunk vs L2 color period")));
+    assert!(
+        checks.iter().any(|c| c.name.ends_with("@ scale 1")),
+        "full-scale allocator identities must be validated"
+    );
 }

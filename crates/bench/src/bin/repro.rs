@@ -1,8 +1,8 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--quiet] [--jobs N] [--step-threads N] [--out DIR] [--trace FILE] [--metrics-window N] <target>...
-//! repro explain [APP] [MEM] [--quick] [--quiet] [--jobs N] [--step-threads N] [--out DIR] [--top N]
+//! repro [--quick] [--quiet] [--jobs N] [--step-threads N] [--capacity-scale F] [--out DIR] [--trace FILE] [--metrics-window N] <target>...
+//! repro explain [APP] [MEM] [--quick] [--quiet] [--jobs N] [--step-threads N] [--capacity-scale F] [--out DIR] [--top N]
 //!
 //! targets: table1 table2 table3 fig1 fig2 fig5 fig8 fig9 fig10 fig11
 //!          fig12 fig13 fig14 fig15 fig16 thresholds migration ablations all
@@ -18,6 +18,13 @@
 //!
 //! `--quiet` silences progress lines on stderr; `<out>/repro_progress.log`
 //! is still written.
+//!
+//! `--capacity-scale F` sets the footprint/capacity scale in `(0, 1]`
+//! (default 1/64, the paper-fidelity evaluation scale): workload footprints
+//! and machine capacities shrink together, so placement pressure is
+//! preserved. `--capacity-scale 1.0` runs the full paper-sized footprints —
+//! multi-GB machines with millions of frames, the regime the hierarchical
+//! bitmap frame allocator exists for.
 //!
 //! `--jobs N` caps the host worker threads used to fan simulations out
 //! (also settable via the `MOCA_JOBS` environment variable; the flag wins).
@@ -45,8 +52,8 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--quiet] [--jobs N] [--step-threads N] [--out DIR] [--trace FILE] [--metrics-window N] <target>...\n\
-         \x20      repro explain [APP] [MEM] [--quick] [--quiet] [--jobs N] [--step-threads N] [--out DIR] [--top N]\n\
+        "usage: repro [--quick] [--quiet] [--jobs N] [--step-threads N] [--capacity-scale F] [--out DIR] [--trace FILE] [--metrics-window N] <target>...\n\
+         \x20      repro explain [APP] [MEM] [--quick] [--quiet] [--jobs N] [--step-threads N] [--capacity-scale F] [--out DIR] [--top N]\n\
          targets: table1 table2 table3 fig1 fig2 fig5 fig8 fig9 fig10 fig11 \
          fig12 fig13 fig14 fig15 fig16 thresholds migration ablations all\n\
          mems:    ddr3 lp rl hbm heter1 heter2 heter3"
@@ -61,6 +68,16 @@ fn set_jobs(n: &str) {
         Ok(v) if v > 0 => std::env::set_var("MOCA_JOBS", v.to_string()),
         _ => {
             eprintln!("repro: --jobs wants a positive thread count, got {n:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_capacity_scale(n: &str) -> f64 {
+    match n.parse::<f64>() {
+        Ok(v) if v > 0.0 && v <= 1.0 => v,
+        _ => {
+            eprintln!("repro: --capacity-scale wants a fraction in (0, 1], got {n:?}");
             std::process::exit(2);
         }
     }
@@ -92,6 +109,11 @@ fn explain_main(args: &[String]) -> ! {
             "--quiet" => quiet = true,
             "--jobs" => set_jobs(&it.next().cloned().unwrap_or_else(|| usage())),
             "--step-threads" => set_step_threads(&it.next().cloned().unwrap_or_else(|| usage())),
+            "--capacity-scale" => {
+                spec.capacity_scale = Some(parse_capacity_scale(
+                    &it.next().cloned().unwrap_or_else(|| usage()),
+                ));
+            }
             "--out" => out_dir = PathBuf::from(it.next().cloned().unwrap_or_else(|| usage())),
             "--top" => {
                 let n = it.next().cloned().unwrap_or_else(|| usage());
@@ -154,6 +176,7 @@ fn main() {
         explain_main(&argv[1..]);
     }
     let mut scale = Scale::Full;
+    let mut capacity_scale = moca_workloads::spec::DEFAULT_FOOTPRINT_SCALE;
     let mut out_dir = PathBuf::from("results");
     let mut trace: Option<PathBuf> = None;
     let mut metrics_window: Option<u64> = None;
@@ -166,6 +189,9 @@ fn main() {
             "--quiet" => quiet = true,
             "--jobs" => set_jobs(&args.next().unwrap_or_else(|| usage())),
             "--step-threads" => set_step_threads(&args.next().unwrap_or_else(|| usage())),
+            "--capacity-scale" => {
+                capacity_scale = parse_capacity_scale(&args.next().unwrap_or_else(|| usage()));
+            }
             "--out" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--metrics-window" => {
@@ -256,8 +282,12 @@ fn main() {
             )
         });
     if needs_profiles {
-        progress.step(&format!("profiling the suite ({scale:?}) ..."));
-        let sp = profiler.time("profile-suite", || SeededPipeline::new(scale));
+        progress.step(&format!(
+            "profiling the suite ({scale:?}, capacity scale {capacity_scale}) ..."
+        ));
+        let sp = profiler.time("profile-suite", || {
+            SeededPipeline::new_scaled(scale, capacity_scale)
+        });
         progress.step("profiling done");
 
         if let Some(trace_path) = &trace {

@@ -37,6 +37,10 @@ pub struct ExplainSpec {
     pub quick: bool,
     /// Objects listed per core, ranked by attributed stall.
     pub top: usize,
+    /// Footprint/capacity scale override; `None` keeps the pipeline's
+    /// default (1/64). `Some(1.0)` runs the full paper-sized footprint on
+    /// the full-capacity machine.
+    pub capacity_scale: Option<f64>,
 }
 
 impl Default for ExplainSpec {
@@ -46,6 +50,7 @@ impl Default for ExplainSpec {
             mem: "ddr3".into(),
             quick: false,
             top: 8,
+            capacity_scale: None,
         }
     }
 }
@@ -195,6 +200,12 @@ pub fn run_explain(spec: &ExplainSpec) -> Result<ExplainReport, String> {
     } else {
         Pipeline::new()
     };
+    if let Some(cs) = spec.capacity_scale {
+        if !(cs > 0.0 && cs <= 1.0) {
+            return Err(format!("capacity scale {cs} outside (0, 1]"));
+        }
+        p.profile_cfg.capacity_scale = cs;
+    }
     let classified = p.classified(&spec.app).clone();
     let (res, _tel) = p.evaluate_attributed(&[&spec.app], mem, policy, Telemetry::disabled(), true);
     let check_placement = policy == PolicyKind::Moca;
@@ -504,6 +515,7 @@ mod tests {
             mem: "heter1".into(),
             quick: true,
             top: 4,
+            capacity_scale: None,
         };
         let a = run_explain(&spec).unwrap();
         let b = run_explain(&spec).unwrap();

@@ -65,9 +65,23 @@ pub struct SeededPipeline {
 }
 
 impl SeededPipeline {
-    /// Profile the whole suite at `scale`.
+    /// Profile the whole suite at `scale` and the default footprint scale
+    /// (1/64).
     pub fn new(scale: Scale) -> SeededPipeline {
+        SeededPipeline::new_scaled(scale, moca_workloads::spec::DEFAULT_FOOTPRINT_SCALE)
+    }
+
+    /// Profile the whole suite at `scale` with an explicit
+    /// footprint/capacity scale in `(0, 1]` — `1.0` runs paper-sized
+    /// footprints on full-capacity machines (the regime the bitmap frame
+    /// allocator exists for).
+    pub fn new_scaled(scale: Scale, capacity_scale: f64) -> SeededPipeline {
+        assert!(
+            capacity_scale > 0.0 && capacity_scale <= 1.0,
+            "capacity scale {capacity_scale} outside (0, 1]"
+        );
         let mut pipeline = scale.pipeline();
+        pipeline.profile_cfg.capacity_scale = capacity_scale;
         let cfg: ProfileConfig = pipeline.profile_cfg;
         let luts = parallel_map(&suite(), |spec| {
             profile_app(spec, InputSet::training(), &cfg)

@@ -167,6 +167,99 @@ fn peak_rss_kb() -> u64 {
     0
 }
 
+/// Frames per module region in the `bitalloc` churn microbench: four
+/// regions of 1M frames = 4M frames total, the scale=1 regime the
+/// hierarchical-bitmap allocator exists for.
+const BITALLOC_FRAMES_PER_REGION: u64 = 1 << 20;
+
+/// FNV-1a step over one pfn, matching the golden-digest hash family.
+fn fnv1a(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The `bitalloc` basket entry: seeded alloc/free churn on a 4M-frame
+/// heterogeneous `FrameSpace`, timed best-of-[`TIMING_REPS`] like the
+/// cycle entries. `sim_cycles` is the op count (constant by construction),
+/// so the headline `cycles_per_host_second` reads as allocator ops per
+/// host second; rep-to-rep determinism is checked by comparing an FNV
+/// fingerprint of the full pfn sequence instead.
+fn run_bitalloc(quick: bool) -> PerfEntry {
+    use moca_common::rng::DetRng;
+    use moca_common::{ModuleKind, PAGE_SIZE};
+    use moca_vm::frames::{regions_from_capacities, FrameSpace};
+
+    let ops: u64 = if quick { 1_000_000 } else { 4_000_000 };
+    eprintln!("perf: bitalloc ({ops} alloc/free ops, 4M frames) ...");
+    let caps: Vec<(ModuleKind, usize, u64)> = ModuleKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(ch, &k)| (k, ch, BITALLOC_FRAMES_PER_REGION * PAGE_SIZE))
+        .collect();
+    // Rotations of the full kind order, so the churn exercises the
+    // preference-fallback walk as well as the per-kind stripe state.
+    let prefs: [[ModuleKind; 4]; 4] = std::array::from_fn(|r| {
+        std::array::from_fn(|i| ModuleKind::ALL[(r + i) % ModuleKind::ALL.len()])
+    });
+
+    let mut wall = f64::INFINITY;
+    let mut fingerprint: Option<u64> = None;
+    for _ in 0..TIMING_REPS {
+        let mut fs = FrameSpace::new(regions_from_capacities(&caps));
+        let mut rng = DetRng::new(0xb17a_110c, 0);
+        let mut live: Vec<u64> = Vec::new();
+        let mut digest = 0xcbf29ce484222325u64;
+        let t0 = std::time::Instant::now();
+        for _ in 0..ops {
+            // Roughly balanced churn with a bounded live set: enough
+            // simultaneous frees per region to spill the LIFO cache.
+            if !live.is_empty() && (live.len() >= 250_000 || rng.chance(0.45)) {
+                let i = rng.below(live.len() as u64) as usize;
+                let pfn = live.swap_remove(i);
+                fs.free(pfn);
+                digest = fnv1a(digest, pfn | 1 << 63);
+            } else if let Some((pfn, _)) = fs.alloc_by_preference(&prefs[rng.below(4) as usize]) {
+                live.push(pfn);
+                digest = fnv1a(digest, pfn);
+            }
+        }
+        wall = wall.min(t0.elapsed().as_secs_f64());
+        if let Some(prev) = fingerprint {
+            assert_eq!(
+                prev, digest,
+                "bitalloc reps disagree on the pfn sequence — allocator nondeterminism"
+            );
+        }
+        fingerprint = Some(digest);
+        let budget = fs.total_frames() / 4 + 64 * 1024;
+        assert!(
+            (fs.alloc_bytes() as u64) < budget,
+            "allocator bookkeeping {} B not bitmap-bounded (budget {budget} B)",
+            fs.alloc_bytes()
+        );
+    }
+    eprintln!(
+        "perf: bitalloc: {} ops in {:.3}s = {:.2} Mops/s",
+        ops,
+        wall,
+        ops as f64 / wall.max(1e-9) / 1e6
+    );
+    PerfEntry {
+        name: "bitalloc".to_string(),
+        bound: "alloc".to_string(),
+        memory_bound: false,
+        instr_target: ops,
+        sim_cycles: ops,
+        wall_seconds: wall,
+        cycles_per_host_second: if wall > 0.0 { ops as f64 / wall } else { 0.0 },
+        peak_rss_kb: peak_rss_kb(),
+        components: ComponentShares::default(),
+    }
+}
+
 /// Run the basket at `quick` or full scale and collect the report.
 pub fn run_perf(quick: bool) -> PerfReport {
     let instr_target: u64 = if quick { 250_000 } else { 1_500_000 };
@@ -238,6 +331,9 @@ pub fn run_perf(quick: bool) -> PerfReport {
             cycles as f64 / wall.max(1e-9) / 1e6
         );
     }
+    // The allocator microbench rides after the system basket so the fixed
+    // cycle-entry order (part of the report format) is undisturbed.
+    entries.push(run_bitalloc(quick));
     PerfReport {
         schema: PERF_SCHEMA.to_string(),
         scale: if quick { "quick" } else { "full" }.to_string(),
@@ -294,10 +390,11 @@ pub fn load(path: &Path) -> std::io::Result<PerfReport> {
 }
 
 /// True if `e` participates in the regression gate: the memory-bound
-/// entries (event-skip path) plus the `mix-heter*` machines (the
-/// multi-program step loop the wheel + SoA + parallel work targets).
+/// entries (event-skip path), the `mix-heter*` machines (the multi-program
+/// step loop the wheel + SoA + parallel work targets), and the `bitalloc`
+/// allocator microbench (the hierarchical-bitmap alloc/free path).
 fn gated(e: &PerfEntry) -> bool {
-    e.memory_bound || e.name.starts_with("mix-heter")
+    e.memory_bound || e.name.starts_with("mix-heter") || e.name == "bitalloc"
 }
 
 /// Compare `fresh` against a committed `baseline`: print the per-entry and
@@ -401,6 +498,38 @@ mod tests {
     }
 
     #[test]
+    fn compare_gates_bitalloc_entry() {
+        let mk = |cps: f64| PerfEntry {
+            name: "bitalloc".into(),
+            bound: "alloc".into(),
+            memory_bound: false,
+            instr_target: 1,
+            sim_cycles: 1,
+            wall_seconds: 1.0,
+            cycles_per_host_second: cps,
+            peak_rss_kb: 0,
+            components: ComponentShares::default(),
+        };
+        let base = PerfReport {
+            schema: PERF_SCHEMA.into(),
+            scale: "quick".into(),
+            entries: vec![mk(100.0)],
+        };
+        let slow = PerfReport {
+            schema: PERF_SCHEMA.into(),
+            scale: "quick".into(),
+            entries: vec![mk(60.0)],
+        };
+        assert_eq!(compare(&base, &slow, 0.20), vec!["bitalloc".to_string()]);
+        let ok = PerfReport {
+            schema: PERF_SCHEMA.into(),
+            scale: "quick".into(),
+            entries: vec![mk(90.0)],
+        };
+        assert!(compare(&base, &ok, 0.20).is_empty());
+    }
+
+    #[test]
     fn compare_gates_mix_heter_entries_too() {
         let mk = |name: &str, cps: f64| PerfEntry {
             name: name.into(),
@@ -424,7 +553,10 @@ mod tests {
             scale: "quick".into(),
             entries: vec![mk("mix-heter", 95.0), mk("mix-heter-16", 60.0)],
         };
-        assert_eq!(compare(&base, &fresh, 0.20), vec!["mix-heter-16".to_string()]);
+        assert_eq!(
+            compare(&base, &fresh, 0.20),
+            vec!["mix-heter-16".to_string()]
+        );
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Hierarchical two-level occupancy bitmap.
+//!
+//! A [`TwoLevelBitmap`] tracks which of `len` slots are occupied using a
+//! dense bit array (`words`, one bit per slot, set = occupied) plus a
+//! summary level with one bit per word (set = the word still has at least
+//! one *free* slot). Finding the lowest free slot therefore touches at most
+//! one summary word per 4096 slots, and a monotonically maintained word
+//! `hint` makes the common mostly-sequential allocation pattern O(1)
+//! amortized. Memory is `len/8` bytes for the bit level plus `len/512`
+//! bytes for the summary — bounded and allocation-free after construction,
+//! which is what lets the frame allocator hold millions of frames without
+//! the unbounded free-list growth the old `Vec<u64>` design had.
+//!
+//! The map is policy-free: it answers "is slot `i` occupied", "occupy the
+//! lowest free slot", "occupy/release slot `i`" and nothing else. Callers
+//! (the frame allocator) layer their ordering contract on top.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense occupancy bit array with a one-bit-per-word "any free" summary.
+///
+/// Invariants (checked by [`TwoLevelBitmap::check_consistency`], and cheap
+/// enough to fuzz):
+/// * bits at positions `>= len` in the last word are permanently set, so
+///   they can never be handed out as free slots;
+/// * summary bit `w` is set exactly when `words[w]` has a clear bit;
+/// * `free` equals the number of clear bits below `len`;
+/// * every word below `hint` is full (all bits set).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TwoLevelBitmap {
+    len: u64,
+    words: Vec<u64>,
+    summary: Vec<u64>,
+    free: u64,
+    hint: usize,
+}
+
+impl TwoLevelBitmap {
+    /// An all-free map over `len` slots.
+    pub fn new(len: u64) -> TwoLevelBitmap {
+        let n_words = (len.div_ceil(64)) as usize;
+        let mut words = vec![0u64; n_words];
+        // Mark the tail bits beyond `len` occupied so searches skip them.
+        if !len.is_multiple_of(64) {
+            let last = n_words - 1;
+            words[last] = !0u64 << (len % 64);
+        }
+        let n_summary = n_words.div_ceil(64);
+        let mut summary = vec![0u64; n_summary];
+        // Every existing word holds at least one real (free) slot.
+        for w in 0..n_words {
+            summary[w / 64] |= 1 << (w % 64);
+        }
+        TwoLevelBitmap {
+            len,
+            words,
+            summary,
+            free: len,
+            hint: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the map tracks zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Free (unoccupied) slots.
+    pub fn free_count(&self) -> u64 {
+        self.free
+    }
+
+    /// Occupied slots.
+    pub fn used_count(&self) -> u64 {
+        self.len - self.free
+    }
+
+    /// Whether slot `idx` is occupied. `idx` must be below `len`.
+    pub fn get(&self, idx: u64) -> bool {
+        assert!(
+            idx < self.len,
+            "bitmap index {idx} out of range {}",
+            self.len
+        );
+        self.words[(idx / 64) as usize] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Occupy slot `idx`. Returns `false` (and changes nothing) when the
+    /// slot was already occupied. `idx` must be below `len`.
+    pub fn acquire(&mut self, idx: u64) -> bool {
+        assert!(
+            idx < self.len,
+            "bitmap index {idx} out of range {}",
+            self.len
+        );
+        let w = (idx / 64) as usize;
+        let mask = 1u64 << (idx % 64);
+        if self.words[w] & mask != 0 {
+            return false;
+        }
+        self.words[w] |= mask;
+        self.free -= 1;
+        if self.words[w] == !0u64 {
+            self.summary[w / 64] &= !(1u64 << (w % 64));
+        }
+        true
+    }
+
+    /// Release slot `idx`. Returns `false` (and changes nothing) when the
+    /// slot was already free. `idx` must be below `len`.
+    pub fn release(&mut self, idx: u64) -> bool {
+        assert!(
+            idx < self.len,
+            "bitmap index {idx} out of range {}",
+            self.len
+        );
+        let w = (idx / 64) as usize;
+        let mask = 1u64 << (idx % 64);
+        if self.words[w] & mask == 0 {
+            return false;
+        }
+        self.words[w] &= !mask;
+        self.free += 1;
+        self.summary[w / 64] |= 1u64 << (w % 64);
+        if w < self.hint {
+            self.hint = w;
+        }
+        true
+    }
+
+    /// Occupy and return the lowest free slot, or `None` when full.
+    pub fn acquire_lowest(&mut self) -> Option<u64> {
+        if self.free == 0 {
+            return None;
+        }
+        // Words below `hint` are full, so the first not-full word is at or
+        // after it; the summary narrows the scan to one probe per 64 words.
+        let mut w = self.hint;
+        if w >= self.words.len() || self.words[w] == !0u64 {
+            let mut found = None;
+            for sk in (self.hint / 64)..self.summary.len() {
+                let s = self.summary[sk];
+                if s != 0 {
+                    found = Some(sk * 64 + s.trailing_zeros() as usize);
+                    break;
+                }
+            }
+            w = found.expect("free > 0 implies a summary bit is set");
+        }
+        let bit = (!self.words[w]).trailing_zeros() as u64;
+        let idx = (w as u64) * 64 + bit;
+        debug_assert!(idx < self.len, "tail bits must stay occupied");
+        self.words[w] |= 1u64 << bit;
+        self.free -= 1;
+        if self.words[w] == !0u64 {
+            self.summary[w / 64] &= !(1u64 << (w % 64));
+        }
+        self.hint = w;
+        Some(idx)
+    }
+
+    /// Heap bytes held by the two bit levels (capacity, not length — this
+    /// is the number callers budget against when they promise bounded
+    /// allocator memory).
+    pub fn heap_bytes(&self) -> usize {
+        (self.words.capacity() + self.summary.capacity()) * std::mem::size_of::<u64>()
+    }
+
+    /// Full O(words) validation of every structural invariant. Debug/test
+    /// hook; returns the violated invariant by name.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if self.words.len() != (self.len.div_ceil(64)) as usize {
+            return Err(format!(
+                "word count {} does not cover len {}",
+                self.words.len(),
+                self.len
+            ));
+        }
+        let mut clear = 0u64;
+        for (w, &word) in self.words.iter().enumerate() {
+            let real_bits = if (w as u64 + 1) * 64 <= self.len {
+                64
+            } else {
+                (self.len - w as u64 * 64) as u32
+            };
+            let tail = if real_bits == 64 {
+                0
+            } else {
+                !0u64 << real_bits
+            };
+            if word & tail != tail {
+                return Err(format!("word {w}: tail bits beyond len are not all set"));
+            }
+            // Tail bits are verified set above, so `!word` only has real
+            // clear bits.
+            clear += (!word).count_ones() as u64;
+            let any_free = word != !0u64;
+            let summary_bit = self.summary[w / 64] & (1u64 << (w % 64)) != 0;
+            if any_free != summary_bit {
+                return Err(format!(
+                    "word {w}: summary bit {summary_bit} disagrees with occupancy (any_free={any_free})"
+                ));
+            }
+            if w < self.hint && any_free {
+                return Err(format!("word {w} below hint {} has free bits", self.hint));
+            }
+        }
+        for (sk, &s) in self.summary.iter().enumerate() {
+            let covered = self.words.len().saturating_sub(sk * 64).min(64);
+            if covered < 64 && s >> covered != 0 {
+                return Err(format!("summary word {sk}: bits set beyond word count"));
+            }
+        }
+        if clear != self.free {
+            return Err(format!(
+                "free counter {} disagrees with {} clear bits",
+                self.free, clear
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    #[test]
+    fn fresh_map_is_all_free() {
+        let b = TwoLevelBitmap::new(100);
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.free_count(), 100);
+        assert_eq!(b.used_count(), 0);
+        assert!(!b.get(0) && !b.get(99));
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn acquire_lowest_is_sequential_when_untouched() {
+        let mut b = TwoLevelBitmap::new(130);
+        for i in 0..130 {
+            assert_eq!(b.acquire_lowest(), Some(i));
+        }
+        assert_eq!(b.acquire_lowest(), None);
+        assert_eq!(b.free_count(), 0);
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn release_reopens_lowest_slot() {
+        let mut b = TwoLevelBitmap::new(200);
+        for _ in 0..200 {
+            b.acquire_lowest();
+        }
+        assert!(b.release(137));
+        assert!(b.release(5));
+        assert!(!b.release(5), "double release rejected");
+        assert_eq!(b.free_count(), 2);
+        assert_eq!(b.acquire_lowest(), Some(5));
+        assert_eq!(b.acquire_lowest(), Some(137));
+        assert_eq!(b.acquire_lowest(), None);
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn acquire_specific_slot_rejects_double() {
+        let mut b = TwoLevelBitmap::new(64);
+        assert!(b.acquire(63));
+        assert!(!b.acquire(63));
+        assert!(b.get(63));
+        assert_eq!(b.acquire_lowest(), Some(0));
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn tail_bits_never_leak() {
+        // A len straddling a word boundary by one bit: the 63 tail bits of
+        // the last word must never be returned.
+        let mut b = TwoLevelBitmap::new(65);
+        for i in 0..65 {
+            assert_eq!(b.acquire_lowest(), Some(i));
+        }
+        assert_eq!(b.acquire_lowest(), None);
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn zero_length_map_is_inert() {
+        let mut b = TwoLevelBitmap::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.acquire_lowest(), None);
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn heap_bytes_are_bitmap_bounded() {
+        let frames = 1u64 << 22; // 4M slots
+        let b = TwoLevelBitmap::new(frames);
+        // bits: frames/8 bytes; summary: frames/512 bytes; allow 2x slack
+        // for Vec capacity rounding.
+        assert!(b.heap_bytes() as u64 <= frames / 4);
+    }
+
+    #[test]
+    fn randomized_ops_stay_consistent_with_naive_model() {
+        let mut b = TwoLevelBitmap::new(700);
+        let mut model = vec![false; 700]; // true = occupied
+        let mut rng = DetRng::new(0xb175e7, 0);
+        for _ in 0..20_000 {
+            match rng.below(3) {
+                0 => {
+                    let got = b.acquire_lowest();
+                    let want = model.iter().position(|&o| !o).map(|i| i as u64);
+                    assert_eq!(got, want);
+                    if let Some(i) = want {
+                        model[i as usize] = true;
+                    }
+                }
+                1 => {
+                    let i = rng.below(700);
+                    assert_eq!(b.acquire(i), !model[i as usize]);
+                    model[i as usize] = true;
+                }
+                _ => {
+                    let i = rng.below(700);
+                    assert_eq!(b.release(i), model[i as usize]);
+                    model[i as usize] = false;
+                }
+            }
+            let free = model.iter().filter(|&&o| !o).count() as u64;
+            assert_eq!(b.free_count(), free);
+        }
+        b.check_consistency().unwrap();
+    }
+}

@@ -12,6 +12,7 @@
 //! coupling to each other.
 
 pub mod addr;
+pub mod bitset;
 pub mod det;
 pub mod ids;
 pub mod par;
@@ -21,6 +22,7 @@ pub mod units;
 pub mod wheel;
 
 pub use addr::{LineAddr, PhysAddr, VirtAddr, CACHE_LINE_SIZE, PAGE_SIZE};
+pub use bitset::TwoLevelBitmap;
 pub use det::{DetMap, DetSet};
 pub use ids::{AppId, CoreId, ObjectClass, ObjectId, Segment};
 pub use rng::DetRng;

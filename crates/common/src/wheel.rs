@@ -423,7 +423,9 @@ mod tests {
         // Seeded LCG; no host randomness.
         let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
         let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         let comps = 12;

@@ -34,11 +34,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use crate::hierarchy::CoreHierarchy;
 use crate::os::Os;
 use crate::system::Port;
+use moca_common::ids::MemTag;
 use moca_common::{CoreId, Cycle, VirtAddr};
 use moca_cpu::{Core, MemPort, MemReply, StoreReply};
 use moca_dram::{AddressMapper, Channel};
 use moca_telemetry::Telemetry;
-use moca_common::ids::MemTag;
 use moca_workloads::AppRun;
 
 /// Resolve the step-thread count: `explicit` if given, else the
@@ -103,20 +103,15 @@ impl Frontier {
 
 /// Outcome of one core's tick, recorded by the owning worker and replayed
 /// serially (in core order) by the bookkeeping pass on the main thread.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub(crate) enum SleepSlot {
     /// Runnable next cycle.
+    #[default]
     Runnable,
     /// Stream drained and pipeline empty.
     Finished,
     /// Blocked until the given wake event.
     Sleep(Cycle),
-}
-
-impl Default for SleepSlot {
-    fn default() -> Self {
-        SleepSlot::Runnable
-    }
 }
 
 /// Raw-parts view of everything phase 3 touches, captured from `&mut System`
@@ -214,7 +209,12 @@ impl MemPort for GatedPort<'_> {
 /// `ctx` must point into a live `System` whose phase-3 state is untouched
 /// by anything else for the duration of the call, and every participating
 /// worker must use the same `ctx`, `frontier`, and `threads`.
-pub(crate) unsafe fn worker_body(ctx: &TickCtx, frontier: &Frontier, worker: usize, threads: usize) {
+pub(crate) unsafe fn worker_body(
+    ctx: &TickCtx,
+    frontier: &Frontier,
+    worker: usize,
+    threads: usize,
+) {
     let mut p = worker;
     while p < ctx.awake_len {
         let i = *ctx.awake.add(p);

@@ -348,6 +348,10 @@ impl System {
                 break;
             }
         }
+        #[cfg(debug_assertions)]
+        os.frames()
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("frame allocator invariants after startup prefault: {e}"));
 
         let n = cores.len();
         let channel_count = channels.len();
@@ -1160,7 +1164,6 @@ mod tests {
         let mut comps = Vec::new();
         for _ in 0..200_000 {
             sys.step(&mut mem, &mut comps, None);
-            let now = sys.now;
             // Wait for a cycle where the core is purely memory-blocked (no
             // core-local timer: its only wake event is a DRAM completion).
             if !sys.cores[0].finished() && sys.wake_at[0] == Cycle::MAX {

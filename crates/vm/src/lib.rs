@@ -21,7 +21,7 @@ pub mod page_table;
 pub mod policy;
 pub mod tlb;
 
-pub use frames::{FrameSpace, ModuleRegion};
+pub use frames::{FrameError, FrameSpace, FreeErrorCause, ModuleRegion, FREE_CACHE, STRIPE_CHUNK};
 pub use layout::{partition_base, segment_of_va, HeapLayout, PageIntent};
 pub use page_table::PageTable;
 pub use policy::{preference_order, PagePlacementPolicy};

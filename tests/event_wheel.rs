@@ -73,7 +73,10 @@ fn wheel_matches_linear_scan_oracle() {
         match (got, want) {
             (None, None) => {}
             (Some((gc, gcomp)), Some((wc, _))) => {
-                assert_eq!(gc, wc, "op {op}: wheel cycle {gc} != scan cycle {wc} at now={now}");
+                assert_eq!(
+                    gc, wc,
+                    "op {op}: wheel cycle {gc} != scan cycle {wc} at now={now}"
+                );
                 assert_eq!(
                     wheel.posted(gcomp),
                     gc,
@@ -149,10 +152,19 @@ fn run_digest(mem: MemSystemConfig, threads: usize) -> u64 {
 
 fn all_mem_systems() -> Vec<(&'static str, MemSystemConfig)> {
     vec![
-        ("Homogen-DDR3", MemSystemConfig::Homogeneous(ModuleKind::Ddr3)),
-        ("Homogen-RL", MemSystemConfig::Homogeneous(ModuleKind::Rldram3)),
+        (
+            "Homogen-DDR3",
+            MemSystemConfig::Homogeneous(ModuleKind::Ddr3),
+        ),
+        (
+            "Homogen-RL",
+            MemSystemConfig::Homogeneous(ModuleKind::Rldram3),
+        ),
         ("Homogen-HBM", MemSystemConfig::Homogeneous(ModuleKind::Hbm)),
-        ("Homogen-LP", MemSystemConfig::Homogeneous(ModuleKind::Lpddr2)),
+        (
+            "Homogen-LP",
+            MemSystemConfig::Homogeneous(ModuleKind::Lpddr2),
+        ),
         (
             "Heter-config1",
             MemSystemConfig::Heterogeneous(HeterogeneousLayout::config1()),
@@ -172,9 +184,9 @@ fn all_mem_systems() -> Vec<(&'static str, MemSystemConfig)> {
 fn parallel_stepping_is_thread_count_invariant() {
     let mut failures = Vec::new();
     for (name, mem) in all_mem_systems() {
-        let base = run_digest(mem.clone(), 1);
+        let base = run_digest(mem, 1);
         for threads in [2, 4] {
-            let got = run_digest(mem.clone(), threads);
+            let got = run_digest(mem, threads);
             if got != base {
                 failures.push(format!(
                     "{name}: {threads} threads gave {got:#018x}, sequential gave {base:#018x}"

@@ -246,3 +246,56 @@ proptest! {
         prop_assert_eq!(wakeups, expected_wakeups, "every pending demand wakes exactly once");
     }
 }
+
+/// Capacity pressure is observable end to end: a single mcf (footprint
+/// larger than Heter config1's 4 MB RLDRAM tier) prefaults through
+/// first-touch, drains RLDRAM completely, and every sampled telemetry
+/// window reports its `free_frames.RLDRAM` gauge at exactly 0 — not
+/// merely "small" — while the HBM and LPDDR2 pools keep the leftovers.
+#[test]
+fn free_frame_gauges_hit_exactly_zero_when_fast_tiers_drain() {
+    use moca_sim::config::{HeterogeneousLayout, MemSystemConfig, SystemConfig};
+    use moca_sim::system::{AppLaunch, System};
+    use moca_telemetry::{RingSink, Telemetry};
+    use moca_vm::policy::FirstTouchPolicy;
+    use moca_workloads::{app_by_name, InputSet};
+
+    let cfg = SystemConfig::single_core(MemSystemConfig::Heterogeneous(
+        HeterogeneousLayout::config1(),
+    ));
+    let launches = vec![AppLaunch::untyped(
+        app_by_name("mcf"),
+        InputSet::reference(),
+    )];
+    let tel = Telemetry::with_sink(Box::new(RingSink::new(100_000))).with_window(10_000);
+    let mut sys = System::new_with_telemetry(cfg, launches, Box::new(FirstTouchPolicy), tel);
+
+    // Frame-space ground truth first: first-touch fills front to back, so
+    // the small fast region is gone before the run even starts.
+    let frames = sys.os().frames();
+    let rl = frames.free_of_kind(moca_common::ModuleKind::Rldram3);
+    let hbm = frames.free_of_kind(moca_common::ModuleKind::Hbm);
+    let lp = frames.free_of_kind(moca_common::ModuleKind::Lpddr2);
+    assert_eq!(rl, 0, "mcf's footprint should exhaust RLDRAM at startup");
+    assert!(hbm > 0, "HBM should keep headroom for a single mcf");
+    assert!(lp > 0, "LPDDR2 must retain headroom (machine fits mcf)");
+
+    let r = sys.run(30_000);
+    assert!(r.runtime_cycles > 0);
+    let mut tel = sys.take_telemetry();
+    let windows = tel.registry.windows();
+    assert!(!windows.is_empty(), "run closed no sampling windows");
+    let gauge = |w: &moca_telemetry::WindowSnapshot, name: &str| -> f64 {
+        w.samples
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("window missing {name} gauge"))
+            .1
+    };
+    for w in windows {
+        assert_eq!(gauge(w, "free_frames.RLDRAM"), 0.0, "RLDRAM gauge not 0");
+        assert!(gauge(w, "free_frames.HBM") > 0.0, "HBM gauge drained");
+        assert!(gauge(w, "free_frames.LPDDR2") > 0.0, "LPDDR2 drained");
+    }
+    let _ = tel.drain_events();
+}

@@ -164,3 +164,74 @@ fn moca_policy_exhausts_exactly_total_frames() {
     }
     assert_eq!(got, total);
 }
+
+/// Capacity-exhaustion sweep: draining a hybrid machine through one class's
+/// fallback chain visits the module kinds in exactly the §IV-D preference
+/// order (restricted to present kinds), each kind switch happens only once
+/// every earlier kind in the chain reads zero headroom, and the drain ends
+/// with every gauge at exactly 0.
+#[test]
+fn preference_fallback_drains_hybrid_configs_in_paper_order() {
+    use moca_sim::config::{HeterogeneousLayout, MemSystemConfig};
+
+    let configs = [
+        ("config1", HeterogeneousLayout::config1()),
+        ("config2", HeterogeneousLayout::config2()),
+        ("config3", HeterogeneousLayout::config3()),
+    ];
+    let classes = [
+        ObjectClass::LatencySensitive,
+        ObjectClass::BandwidthSensitive,
+        ObjectClass::NonIntensive,
+    ];
+    for (cname, layout) in configs {
+        for class in classes {
+            let mem = MemSystemConfig::Heterogeneous(layout);
+            let mut fs =
+                FrameSpace::new(mem.frame_regions(moca_workloads::spec::DEFAULT_FOOTPRINT_SCALE));
+            let total = fs.total_frames();
+            let prefs = preference_order(class);
+            let mut kind_order: Vec<ModuleKind> = Vec::new();
+            let mut allocated = 0u64;
+            while let Some((pfn, kind)) = fs.alloc_by_preference(&prefs) {
+                allocated += 1;
+                assert!(allocated <= total, "{cname}/{class:?}: over-allocated");
+                assert_eq!(
+                    fs.kind_of(pfn),
+                    Some(kind),
+                    "{cname}/{class:?}: pfn/kind mismatch"
+                );
+                if kind_order.last() != Some(&kind) {
+                    // A new kind may only be entered once every earlier
+                    // kind in the chain is fully drained.
+                    for &earlier in prefs.iter().take_while(|&&k| k != kind) {
+                        assert_eq!(
+                            fs.free_of_kind(earlier),
+                            0,
+                            "{cname}/{class:?}: switched to {kind} while {earlier} had frames"
+                        );
+                    }
+                    kind_order.push(kind);
+                }
+            }
+            assert_eq!(
+                allocated, total,
+                "{cname}/{class:?}: drain left frames behind"
+            );
+            // The kinds appear in chain order, restricted to present kinds
+            // (no hybrid config has DDR3).
+            let expect: Vec<ModuleKind> = prefs
+                .iter()
+                .copied()
+                .filter(|&k| fs.regions().iter().any(|r| r.kind == k))
+                .collect();
+            assert_eq!(kind_order, expect, "{cname}/{class:?}: fallback order");
+            // Exhaustion: every headroom gauge reads exactly 0.
+            for (kind, free) in fs.headroom() {
+                assert_eq!(free, 0, "{cname}/{class:?}: {kind} not drained");
+            }
+            assert!(fs.alloc_by_preference(&prefs).is_none());
+            fs.check_invariants().unwrap();
+        }
+    }
+}
